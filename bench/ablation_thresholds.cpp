@@ -1,0 +1,94 @@
+// Ablation: Schmitt-trigger thresholds T1/T2 and the buffer zone (§III-D).
+//
+// Sweeps the upper threshold T1 and the hysteresis width (T1-T2) on the
+// Fig 8 long workload and reports switch counts, migration overheads and
+// mean response time. A degenerate loop with T1 == T2 (no buffer zone) is
+// included to demonstrate why the hysteresis exists: without it, samples
+// oscillating around the single threshold cause switch thrashing.
+#include <iostream>
+
+#include "apps/benchmarks.h"
+#include "metrics/experiment.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+#include "workload/patterns.h"
+
+namespace {
+
+/// An oscillating long workload: three 20-app stress bursts separated by
+/// quiet loose-interval phases, so the D_switch signal rises and falls
+/// repeatedly — the regime where hysteresis matters.
+vs::workload::Sequence make_long_workload(std::uint64_t seed) {
+  using namespace vs;
+  util::Rng rng(seed);
+  return workload::phased_sequence({{20, workload::Congestion::kStress},
+                                    {10, workload::Congestion::kLoose},
+                                    {20, workload::Congestion::kStress},
+                                    {10, workload::Congestion::kLoose},
+                                    {20, workload::Congestion::kStress},
+                                    {10, workload::Congestion::kLoose}},
+                                   rng);
+}
+
+}  // namespace
+
+int main() {
+  using namespace vs;
+
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::Sequence seq = make_long_workload(3000);
+
+  struct Point {
+    double t1, t2;
+  };
+  const Point points[] = {
+      {0.015, 0.004}, {0.030, 0.008}, {0.050, 0.015}, {0.080, 0.030},
+      {0.030, 0.030},  // degenerate: no buffer zone
+      {0.030, 0.001},  // very wide hysteresis
+  };
+
+  std::cout << "=== Ablation: switch-loop thresholds (90-app oscillating "
+               "workload) ===\n\n";
+  util::Table table({"T1", "T2", "switches", "migrated apps", "overhead ms",
+                     "mean ms"});
+  cluster::ClusterOptions off;
+  off.enable_switching = false;
+  auto baseline = metrics::run_cluster(suite, seq, off);
+
+  for (const Point& p : points) {
+    cluster::ClusterOptions options;
+    options.t1 = p.t1;
+    options.t2 = p.t2;
+    auto r = metrics::run_cluster(suite, seq, options);
+    double overhead = 0;
+    int migrated = 0;
+    for (const auto& e : r.switches) {
+      overhead += sim::to_ms(e.overhead);
+      migrated += e.apps_migrated;
+    }
+    table.add_row();
+    table.cell(p.t1, 3);
+    table.cell(p.t2, 3);
+    table.cell(static_cast<std::int64_t>(r.switches.size()));
+    table.cell(static_cast<std::int64_t>(migrated));
+    table.cell(overhead, 2);
+    table.cell(r.response.mean, 1);
+  }
+  table.add_row();
+  table.cell("off");
+  table.cell("-");
+  table.cell(static_cast<std::int64_t>(0));
+  table.cell(static_cast<std::int64_t>(0));
+  table.cell(0.0, 2);
+  table.cell(baseline.response.mean, 1);
+  table.print(std::cout);
+  std::cout << "\n(a high T1 reacts late or never and approaches the "
+               "switching-off response time; low-to-moderate thresholds "
+               "catch every burst. The queue-depth stabilisation guards "
+               "keep even the degenerate T1==T2 loop from thrashing, so "
+               "the buffer zone's remaining role is pre-warming lead "
+               "time)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the simulation substrate and control-plane
+// algorithms, via google-benchmark: event-queue throughput, PCAP queueing,
+// the optimal-slot ILP approximation, the slot-allocation pass, and
+// whole-sequence simulation rates for each scheduler.
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmarks.h"
+#include "apps/bundling.h"
+#include "metrics/experiment.h"
+#include "sim/core.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace vs;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule((i * 2654435761u) % 1000000, [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorEventRate(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule(100, tick);
+    };
+    sim.schedule(0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventRate);
+
+void BM_PcapQueueing(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Core core(sim, "c0");
+    fpga::Pcap pcap(sim);
+    for (int i = 0; i < 100; ++i) {
+      pcap.request(sim::ms(1), core, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(pcap.stats().loads_completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_PcapQueueing);
+
+void BM_OptimalLittleSlots(benchmark::State& state) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  for (auto _ : state) {
+    for (const auto& app : suite) {
+      benchmark::DoNotOptimize(
+          apps::optimal_little_slots(app, 17, params, 8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_OptimalLittleSlots);
+
+void BM_MakeBigUnits(benchmark::State& state) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  for (auto _ : state) {
+    for (const auto& app : suite) {
+      benchmark::DoNotOptimize(apps::make_big_units(app, 17, params));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_MakeBigUnits);
+
+/// Simulation rate for a full 20-app standard sequence per system. Reports
+/// how many simulated seconds one wall-clock second covers.
+void BM_FullSequence(benchmark::State& state) {
+  auto kind = static_cast<metrics::SystemKind>(state.range(0));
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 20;
+  util::Rng rng(7);
+  auto seq = workload::generate_sequence(config, rng);
+  double sim_seconds = 0;
+  for (auto _ : state) {
+    auto r = metrics::run_single_board(kind, suite, seq);
+    sim_seconds += sim::to_seconds(r.makespan);
+    benchmark::DoNotOptimize(r.response.mean);
+  }
+  state.SetLabel(metrics::system_name(kind));
+  state.counters["sim_s_per_s"] = benchmark::Counter(
+      sim_seconds, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSequence)->DenseRange(0, metrics::kSystemCount - 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Runs one workload under all six systems the paper compares (Baseline,
+// FCFS, RR, Nimblock, VersaSlot Only.Little, VersaSlot Big.Little) and
+// prints mean/P95/P99 response times side by side — a miniature of the
+// paper's Fig 5/6 experiment on a single sequence.
+//
+// Usage: scheduler_comparison [loose|standard|stress|realtime] [n_apps] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/versaslot.h"
+
+int main(int argc, char** argv) {
+  using namespace vs;
+
+  workload::Congestion congestion = workload::Congestion::kStandard;
+  if (argc > 1) {
+    std::string arg = argv[1];
+    if (arg == "loose") congestion = workload::Congestion::kLoose;
+    else if (arg == "standard") congestion = workload::Congestion::kStandard;
+    else if (arg == "stress") congestion = workload::Congestion::kStress;
+    else if (arg == "realtime") congestion = workload::Congestion::kRealtime;
+    else {
+      std::cerr << "unknown congestion '" << arg << "'\n";
+      return 1;
+    }
+  }
+  int n_apps = argc > 2 ? std::atoi(argv[2]) : 20;
+  std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = congestion;
+  config.apps_per_sequence = n_apps;
+  util::Rng rng(seed);
+  workload::Sequence sequence = workload::generate_sequence(config, rng);
+
+  std::cout << "Workload: " << n_apps << " apps, "
+            << workload::congestion_name(congestion)
+            << " arrivals, seed " << seed << "\n\n";
+
+  util::Table table({"system", "fabric", "mean ms", "P95 ms", "P99 ms",
+                     "PRs", "PR-blocked", "preempt", "done"});
+  double baseline_mean = 0;
+  for (int k = 0; k < metrics::kSystemCount; ++k) {
+    auto kind = static_cast<metrics::SystemKind>(k);
+    metrics::RunResult r =
+        metrics::run_single_board(kind, suite, sequence);
+    if (kind == metrics::SystemKind::kBaseline) baseline_mean = r.response.mean;
+    table.add_row();
+    table.cell(r.system);
+    table.cell(metrics::fabric_for(kind).name());
+    table.cell(r.response.mean, 1);
+    table.cell(r.response.p95, 1);
+    table.cell(r.response.p99, 1);
+    table.cell(r.counters.pr_requests);
+    table.cell(r.counters.pr_blocked);
+    table.cell(r.counters.preemptions);
+    table.cell(std::to_string(r.completed) + "/" +
+               std::to_string(r.submitted));
+  }
+  table.print(std::cout);
+  std::cout << "\n(baseline mean " << util::fmt(baseline_mean, 1)
+            << " ms; lower is better)\n";
+  return 0;
+}

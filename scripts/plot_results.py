@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench binaries.
+
+Usage:
+    # from the build directory, after running the benches:
+    python3 ../scripts/plot_results.py [--out plots/]
+
+Consumes (when present in the current directory):
+    fig5_response_time.csv   -> fig5.png  (grouped bars, reduction vs baseline)
+    fig6_tail_latency.csv    -> fig6.png  (P95/P99 normalised to baseline)
+    fig7_utilization.csv     -> fig7.png  (little vs 3-in-1 utilisation)
+    fig8_dswitch_trace.csv   -> fig8.png  (D_switch traces with thresholds)
+
+Only needs matplotlib; degrades gracefully when a CSV is missing.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    if not os.path.exists(path):
+        print(f"  (skip: {path} not found)")
+        return None
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def fig5(plt, outdir):
+    rows = read_csv("fig5_response_time.csv")
+    if not rows:
+        return
+    congestions = []
+    systems = []
+    for r in rows:
+        if r["congestion"] not in congestions:
+            congestions.append(r["congestion"])
+        if r["system"] not in systems:
+            systems.append(r["system"])
+    fig, ax = plt.subplots(figsize=(9, 4.5))
+    width = 0.8 / len(systems)
+    for si, system in enumerate(systems):
+        xs, ys = [], []
+        for ci, congestion in enumerate(congestions):
+            for r in rows:
+                if r["system"] == system and r["congestion"] == congestion:
+                    xs.append(ci + si * width)
+                    ys.append(float(r["reduction_vs_baseline"]))
+        ax.bar(xs, ys, width=width, label=system)
+    ax.set_xticks([i + 0.4 for i in range(len(congestions))])
+    ax.set_xticklabels(congestions)
+    ax.set_ylabel("response-time reduction vs baseline (x)")
+    ax.set_title("Fig 5: relative response time reduction")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig5.png"), dpi=150)
+    print(f"  wrote {outdir}/fig5.png")
+
+
+def fig6(plt, outdir):
+    rows = read_csv("fig6_tail_latency.csv")
+    if not rows:
+        return
+    congestions = sorted({r["congestion"] for r in rows})
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4))
+    for ax, metric, title in zip(axes, ["p95_vs_baseline", "p99_vs_baseline"],
+                                 ["P95 / baseline", "P99 / baseline"]):
+        systems = []
+        for r in rows:
+            if r["system"] not in systems:
+                systems.append(r["system"])
+        width = 0.8 / len(systems)
+        for si, system in enumerate(systems):
+            xs, ys = [], []
+            for ci, congestion in enumerate(congestions):
+                for r in rows:
+                    if r["system"] == system and r["congestion"] == congestion:
+                        xs.append(ci + si * width)
+                        ys.append(float(r[metric]))
+            ax.bar(xs, ys, width=width, label=system)
+        ax.set_xticks([i + 0.4 for i in range(len(congestions))])
+        ax.set_xticklabels(congestions, fontsize=8)
+        ax.set_title(title)
+    axes[0].legend(fontsize=7)
+    fig.suptitle("Fig 6: tail latency normalised to baseline")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig6.png"), dpi=150)
+    print(f"  wrote {outdir}/fig6.png")
+
+
+def fig7(plt, outdir):
+    rows = read_csv("fig7_utilization.csv")
+    if not rows:
+        return
+    apps = [r["app"] for r in rows]
+    little = [float(r["lut_little"]) for r in rows]
+    big = [float(r["lut_big"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4))
+    xs = range(len(apps))
+    ax.bar([x - 0.2 for x in xs], little, width=0.4, label="Little slots")
+    ax.bar([x + 0.2 for x in xs], big, width=0.4, label="3-in-1 Big slot")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(apps)
+    ax.set_ylabel("LUT utilisation")
+    ax.set_title("Fig 7: utilisation improvement by 3-in-1 tasks")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig7.png"), dpi=150)
+    print(f"  wrote {outdir}/fig7.png")
+
+
+def fig8(plt, outdir):
+    rows = read_csv("fig8_dswitch_trace.csv")
+    if not rows:
+        return
+    fig, ax = plt.subplots(figsize=(8, 4))
+    workloads = sorted({r["workload"] for r in rows})
+    for w in workloads:
+        xs = [float(r["t_s"]) for r in rows if r["workload"] == w]
+        ys = [float(r["dswitch"]) for r in rows if r["workload"] == w]
+        ax.plot(xs, ys, marker=".", label=f"workload {int(w) + 1}")
+    ax.axhline(0.030, color="red", linestyle="--", label="T1")
+    ax.axhline(0.008, color="green", linestyle="--", label="T2")
+    ax.set_xlabel("time (s)")
+    ax.set_ylabel("D_switch")
+    ax.set_title("Fig 8: D_switch with Schmitt thresholds")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig8.png"), dpi=150)
+    print(f"  wrote {outdir}/fig8.png")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="plots")
+    args = parser.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot", file=sys.stderr)
+        return 1
+    os.makedirs(args.out, exist_ok=True)
+    print("plotting into", args.out)
+    fig5(plt, args.out)
+    fig6(plt, args.out)
+    fig7(plt, args.out)
+    fig8(plt, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+// Offline application-preparation flow.
+//
+// The paper prepares applications ahead of time: "applications are
+// partitioned into smaller tasks suitable for Little slots by synthesis
+// resources via automated scripts", and "the automated script generates
+// partial bitstreams for each task adaptive to each slot" (§III-A, §IV —
+// a TCL flow in Vivado 2024.1). This module is that flow's model: it takes
+// a streaming kernel graph (a chain of indivisible ops), partitions it into
+// the fewest Little-slot-sized tasks by synthesis resource usage, and emits
+// the bitstream manifest (every variant that must be generated and stored
+// on the SD card: per-task Little bitstreams plus serial and parallel 3-in-1
+// bundle variants for Big slots).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/bundling.h"
+#include "apps/synthesis.h"
+#include "apps/task.h"
+#include "fpga/params.h"
+
+namespace vs::apps {
+
+/// Smallest indivisible unit of application logic (an HLS kernel / dataflow
+/// stage). Ops are fused into tasks by the partitioner.
+struct KernelOp {
+  std::string name;
+  fpga::ResourceVector raw_demand;   ///< pre-synthesis estimate
+  sim::SimDuration item_latency = 0; ///< per batch item
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+};
+
+/// A linear streaming dataflow of ops — the unit the flow partitions.
+struct KernelGraph {
+  std::string name;
+  std::vector<KernelOp> ops;
+};
+
+struct OfflineFlowConfig {
+  fpga::BoardParams board;
+  SynthesisModel synthesis;
+  /// Ops fused into one region avoid per-op DDR round-trips; the fused
+  /// per-item latency is the sum of op latencies scaled by this factor.
+  double fusion_speedup = 0.85;
+  /// Partitioning may not fill a task beyond this fraction of the Little
+  /// slot at synthesis (headroom for routing).
+  double max_fill = 1.0;
+  int bundle_size = 3;
+};
+
+/// Result of partitioning one kernel graph.
+struct FlowReport {
+  AppSpec app;                       ///< ready to submit to a runtime
+  std::vector<int> ops_per_task;     ///< fusion widths
+  std::vector<double> synth_fill;    ///< per-task synthesis LUT fill fraction
+  bool bundleable = false;           ///< fits Big slots as 3-in-1 bundles
+
+  [[nodiscard]] int task_count() const noexcept {
+    return static_cast<int>(ops_per_task.size());
+  }
+};
+
+/// Partitions a chain of ops into the minimum number of tasks such that
+/// every task's *synthesis* usage fits a Little slot (x max_fill). Among
+/// minimum-task partitions, chooses the one with the most balanced per-task
+/// latencies (the pipeline bottleneck Tmax is minimised) — the "optimal fit
+/// between slot resources and task resource usage after synthesis" of §IV.
+/// Throws std::invalid_argument if any single op cannot fit a Little slot.
+[[nodiscard]] FlowReport partition(const KernelGraph& graph,
+                                   const OfflineFlowConfig& config = {});
+
+/// One pre-generated bitstream the SD card must hold.
+struct BitstreamEntry {
+  std::string label;        ///< e.g. "task2.little", "bundle0.parallel"
+  int first_task = 0;
+  int last_task = 0;
+  fpga::SlotKind slot_kind = fpga::SlotKind::kLittle;
+  BundleMode mode = BundleMode::kSingle;
+  std::int64_t bytes = 0;
+};
+
+/// The complete offline artifact set for an application: Little-slot task
+/// bitstreams plus, when the app is bundleable, serial and parallel
+/// variants of every 3-in-1 bundle ("bitstreams for each task adaptive to
+/// each slot").
+struct BitstreamManifest {
+  std::vector<BitstreamEntry> entries;
+  std::int64_t total_bytes = 0;
+};
+
+[[nodiscard]] BitstreamManifest make_manifest(
+    const AppSpec& app, const OfflineFlowConfig& config = {});
+
+}  // namespace vs::apps

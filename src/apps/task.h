@@ -1,0 +1,65 @@
+// Application and task model.
+//
+// An application is partitioned offline (by the paper's Vivado TCL flow; by
+// the SynthesisModel here) into a linear pipeline of tasks sized for Little
+// slots. Each task carries its synthesis-reported and implemented resource
+// usage, its per-batch-item latency, and the partial bitstream sizes for
+// each slot variant. Batches of items stream through the pipeline: item b of
+// task t can execute once task t-1 has finished item b.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/resources.h"
+#include "sim/time.h"
+
+namespace vs::apps {
+
+struct TaskSpec {
+  int index = 0;           ///< position in the pipeline
+  std::string name;
+  fpga::ResourceVector synth_usage;  ///< synthesis-reported, Little variant
+  fpga::ResourceVector impl_usage;   ///< post-implementation usage
+  sim::SimDuration item_latency = 0; ///< execution time per batch item
+  std::int64_t item_bytes_in = 0;    ///< DMA payload per item
+  std::int64_t item_bytes_out = 0;
+  std::int64_t bitstream_bytes = 0;  ///< Little-slot partial bitstream
+};
+
+struct AppSpec {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+
+  [[nodiscard]] int task_count() const noexcept {
+    return static_cast<int>(tasks.size());
+  }
+
+  /// Sum of per-item latencies across the pipeline (one item's latency
+  /// through an unconstrained pipeline).
+  [[nodiscard]] sim::SimDuration item_latency_sum() const noexcept {
+    sim::SimDuration t = 0;
+    for (const TaskSpec& task : tasks) t += task.item_latency;
+    return t;
+  }
+
+  [[nodiscard]] sim::SimDuration max_item_latency() const noexcept {
+    sim::SimDuration t = 0;
+    for (const TaskSpec& task : tasks) t = std::max(t, task.item_latency);
+    return t;
+  }
+};
+
+/// One submitted instance of an application: arrival time plus batch size.
+struct AppArrival {
+  int spec_index = 0;        ///< index into the benchmark suite
+  sim::SimTime arrival = 0;
+  int batch = 1;             ///< number of items to stream through
+  /// Dynamic batch processing (§III-A): when non-zero, item i of the batch
+  /// only becomes available at arrival + i * item_interval (a live source
+  /// such as a camera feed). Zero = the whole batch is staged up front.
+  sim::SimDuration item_interval = 0;
+};
+
+}  // namespace vs::apps

@@ -1,0 +1,21 @@
+#include "baselines/baseline_exclusive.h"
+
+#include "runtime/board_runtime.h"
+
+namespace vs::baselines {
+
+void BaselineExclusivePolicy::on_pass(runtime::BoardRuntime& rt) {
+  // Fabric is busy while any started app is unfinished.
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec != nullptr && a.started && !a.done()) return;
+  }
+  // Admit the earliest waiting app (FCFS over the exclusive device).
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec != nullptr && !a.started && !a.done()) {
+      rt.request_full_reconfig(a.id);
+      return;
+    }
+  }
+}
+
+}  // namespace vs::baselines

@@ -1,0 +1,22 @@
+// Traditional exclusive temporal multiplexing (the paper's "Baseline",
+// refs [7], [16]: AWS F1 / Catapult style): the whole FPGA is allocated to
+// one application at a time; switching applications requires a full fabric
+// reconfiguration (large monolithic bitstream plus system re-init). The
+// application's entire pipeline is spatially mapped, so it runs PR-free once
+// loaded; everything else queues.
+#pragma once
+
+#include "runtime/policy.h"
+
+namespace vs::baselines {
+
+class BaselineExclusivePolicy final : public runtime::SchedulerPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "Baseline"; }
+
+  void on_app_submitted(runtime::BoardRuntime&, int) override {}
+
+  void on_pass(runtime::BoardRuntime& rt) override;
+};
+
+}  // namespace vs::baselines

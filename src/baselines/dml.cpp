@@ -1,0 +1,34 @@
+#include "baselines/dml.h"
+
+namespace vs::baselines {
+
+void DmlPolicy::on_pass(runtime::BoardRuntime& rt) {
+  // FIFO with backfilling: walk apps in arrival order; running apps top up
+  // within their optimal allocation; a waiting app starts only if its full
+  // optimal allocation is available *right now*, otherwise it is skipped
+  // and later apps may backfill the remaining slots.
+  std::vector<int> idle = rt.idle_slots(fpga::SlotKind::kLittle);
+  for (int id : live_apps(rt)) {
+    if (idle.empty()) break;
+    runtime::AppRun& app = rt.app(id);
+    int cap = alloc_.get(rt, app);
+    if (app.started) {
+      while (app.units_placed() < cap && !idle.empty()) {
+        int unit = next_pending_unit(app);
+        if (unit < 0) break;
+        rt.request_pr(id, unit, take_slot(rt, id, unit, idle));
+      }
+      continue;
+    }
+    if (!has_pending_units(app)) continue;
+    int want = std::min(cap, app.units_unfinished());
+    if (static_cast<int>(idle.size()) < want) continue;  // backfill
+    for (int i = 0; i < want; ++i) {
+      int unit = next_pending_unit(app);
+      if (unit < 0) break;
+      rt.request_pr(id, unit, take_slot(rt, id, unit, idle));
+    }
+  }
+}
+
+}  // namespace vs::baselines

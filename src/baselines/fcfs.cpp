@@ -1,0 +1,22 @@
+#include "baselines/fcfs.h"
+
+namespace vs::baselines {
+
+void FcfsPolicy::on_pass(runtime::BoardRuntime& rt) {
+  // Naive first-come-first-served spatio-temporal sharing: each application
+  // occupies a single Little slot and its tasks are swapped through it
+  // sequentially (one PR per task). Multi-slot pipeline execution is the
+  // later contribution of Nimblock/VersaSlot — this policy predates it.
+  // Free slots go to the earliest-arrived waiting application.
+  std::vector<int> idle = rt.idle_slots(fpga::SlotKind::kLittle);
+  for (int id : live_apps(rt)) {
+    if (idle.empty()) break;
+    runtime::AppRun& app = rt.app(id);
+    if (app.units_placed() >= 1) continue;
+    int unit = next_pending_unit(app);
+    if (unit < 0) continue;
+    rt.request_pr(id, unit, take_slot(rt, id, unit, idle));
+  }
+}
+
+}  // namespace vs::baselines

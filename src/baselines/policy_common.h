@@ -1,0 +1,47 @@
+// Shared machinery for the slot-sharing comparison policies (FCFS,
+// Round-Robin, Nimblock, VersaSlot Only.Little): per-app optimal Little-slot
+// allocations and in-order placement of pending pipeline units into free
+// slots.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/board_runtime.h"
+
+namespace vs::baselines {
+
+/// Cached per-app ILP-optimal Little-slot count (the O^L of the papers).
+class LittleAllocCache {
+ public:
+  int get(runtime::BoardRuntime& rt, const runtime::AppRun& app);
+  void forget(int app_id) { cache_.erase(app_id); }
+
+ private:
+  std::unordered_map<int, int> cache_;
+};
+
+/// Index of the lowest pending unit of `app` (pipeline order), or -1.
+[[nodiscard]] int next_pending_unit(const runtime::AppRun& app);
+
+/// True if the app still has work that needs a slot.
+[[nodiscard]] bool has_pending_units(const runtime::AppRun& app);
+
+/// Grants idle Little slots to apps in the given order: each app may place
+/// pending units (in pipeline order) until it reaches its `cap` placed
+/// units or slots run out. `one_per_app` makes a single placement per app
+/// per call (round-robin fairness).
+void grant_little_slots(runtime::BoardRuntime& rt,
+                        const std::vector<int>& app_order,
+                        const std::unordered_map<int, int>& caps,
+                        bool one_per_app = false);
+
+/// Apps that are live on the board (admitted, not finished, not migrated).
+[[nodiscard]] std::vector<int> live_apps(const runtime::BoardRuntime& rt);
+
+/// Picks the best slot for (app, unit) out of `idle` — preferring one whose
+/// bitstream is already staged — and removes it from the list.
+int take_slot(runtime::BoardRuntime& rt, int app_id, int unit,
+              std::vector<int>& idle);
+
+}  // namespace vs::baselines

@@ -1,0 +1,33 @@
+#include "baselines/round_robin.h"
+
+#include <algorithm>
+
+namespace vs::baselines {
+
+void RoundRobinPolicy::on_pass(runtime::BoardRuntime& rt) {
+  // Coyote-style round-robin: like FCFS each application runs its tasks
+  // sequentially through one Little slot, but free slots are offered to
+  // applications in cyclic order, so late arrivals are not starved by a
+  // long head-of-line application.
+  std::vector<int> order = live_apps(rt);
+  if (order.empty()) return;
+  std::size_t start = cursor_ % order.size();
+  std::rotate(order.begin(),
+              order.begin() + static_cast<std::ptrdiff_t>(start),
+              order.end());
+
+  std::vector<int> idle = rt.idle_slots(fpga::SlotKind::kLittle);
+  int granted = 0;
+  for (int id : order) {
+    if (idle.empty()) break;
+    runtime::AppRun& app = rt.app(id);
+    if (app.units_placed() >= 1) continue;
+    int unit = next_pending_unit(app);
+    if (unit < 0) continue;
+    rt.request_pr(id, unit, take_slot(rt, id, unit, idle));
+    ++granted;
+  }
+  cursor_ += static_cast<std::size_t>(granted) + 1;
+}
+
+}  // namespace vs::baselines

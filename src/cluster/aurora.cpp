@@ -1,0 +1,32 @@
+#include "cluster/aurora.h"
+
+#include <utility>
+
+namespace vs::cluster {
+
+void AuroraLink::transfer(std::int64_t bytes, sim::EventFn on_done) {
+  Pending p{bytes, std::move(on_done)};
+  if (busy_) {
+    queue_.push_back(std::move(p));
+    return;
+  }
+  start(std::move(p));
+}
+
+void AuroraLink::start(Pending p) {
+  busy_ = true;
+  ++transfers_;
+  bytes_ += p.bytes;
+  sim_.schedule(params_.transfer_time(p.bytes),
+                [this, done = std::move(p.on_done)]() mutable {
+                  busy_ = false;
+                  if (done) done();
+                  if (!busy_ && !queue_.empty()) {
+                    Pending next = std::move(queue_.front());
+                    queue_.pop_front();
+                    start(std::move(next));
+                  }
+                });
+}
+
+}  // namespace vs::cluster

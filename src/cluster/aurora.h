@@ -1,0 +1,44 @@
+// Aurora link model: the GT-transceiver (zSFP+) point-to-point connection
+// between boards used for cross-board live migration. Transfers are
+// serialised on the link and cost setup + bytes/bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "fpga/params.h"
+#include "sim/simulator.h"
+
+namespace vs::cluster {
+
+class AuroraLink {
+ public:
+  AuroraLink(sim::Simulator& sim, fpga::LinkParams params = {})
+      : sim_(sim), params_(params) {}
+
+  /// Queues a DMA transfer of `bytes`; `on_done` fires at completion.
+  void transfer(std::int64_t bytes, sim::EventFn on_done);
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::int64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] std::int64_t bytes_moved() const noexcept { return bytes_; }
+  [[nodiscard]] const fpga::LinkParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  struct Pending {
+    std::int64_t bytes;
+    sim::EventFn on_done;
+  };
+  void start(Pending p);
+
+  sim::Simulator& sim_;
+  fpga::LinkParams params_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  std::int64_t transfers_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace vs::cluster

@@ -1,0 +1,278 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace vs::cluster {
+
+namespace {
+
+const char* config_name(core::SwitchLoop::Config config) {
+  return config == core::SwitchLoop::Config::kBigLittle ? "Big.Little"
+                                                        : "Only.Little";
+}
+
+}  // namespace
+
+Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
+                 ClusterOptions options)
+    : sim_(sim),
+      suite_(suite),
+      options_(options),
+      link_(sim, options.link_params),
+      monitor_(options.dswitch_period),
+      loop_(options.t1, options.t2, options.initial) {
+  assert(options_.boards_per_config >= 1);
+  options_.bl_policy.mode = core::VersaSlotOptions::Mode::kBigLittle;
+  options_.ol_policy.mode = core::VersaSlotOptions::Mode::kOnlyLittle;
+  for (int i = 0; i < options_.boards_per_config; ++i) {
+    boards_ol_.push_back(std::make_unique<fpga::Board>(
+        sim, "fpga-OL" + std::to_string(i),
+        fpga::FabricConfig::only_little(), options_.board_params));
+    boards_bl_.push_back(std::make_unique<fpga::Board>(
+        sim, "fpga-BL" + std::to_string(i),
+        fpga::FabricConfig::big_little(), options_.board_params));
+  }
+  activate_pool(options_.initial);
+}
+
+std::vector<fpga::Board*> Cluster::boards_for(
+    core::SwitchLoop::Config config) {
+  std::vector<fpga::Board*> out;
+  auto& pool = config == core::SwitchLoop::Config::kBigLittle ? boards_bl_
+                                                              : boards_ol_;
+  out.reserve(pool.size());
+  for (auto& b : pool) out.push_back(b.get());
+  return out;
+}
+
+int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
+  auto epoch = std::make_unique<Epoch>();
+  epoch->board = &board;
+  epoch->config = config;
+  const core::VersaSlotOptions& popts =
+      config == core::SwitchLoop::Config::kBigLittle ? options_.bl_policy
+                                                     : options_.ol_policy;
+  epoch->policy = std::make_unique<core::VersaSlotPolicy>(popts);
+  epoch->runtime =
+      std::make_unique<runtime::BoardRuntime>(*epoch->board, *epoch->policy);
+  epoch->runtime->set_on_app_complete([this](const runtime::CompletedApp& c) {
+    completed_.push_back(c);
+    on_queue_update();
+  });
+  epochs_.push_back(std::move(epoch));
+  return static_cast<int>(epochs_.size()) - 1;
+}
+
+void Cluster::activate_pool(core::SwitchLoop::Config config) {
+  active_epochs_.clear();
+  for (fpga::Board* board : boards_for(config)) {
+    active_epochs_.push_back(new_epoch(config, *board));
+  }
+}
+
+runtime::BoardRuntime& Cluster::least_loaded_active() {
+  runtime::BoardRuntime* best = nullptr;
+  int best_load = 0;
+  for (int index : active_epochs_) {
+    runtime::BoardRuntime& rt =
+        *epochs_[static_cast<std::size_t>(index)]->runtime;
+    int load = rt.active_apps();
+    if (best == nullptr || load < best_load) {
+      best = &rt;
+      best_load = load;
+    }
+  }
+  assert(best != nullptr);
+  return *best;
+}
+
+void Cluster::submit_sequence(const workload::Sequence& sequence) {
+  for (const apps::AppArrival& a : sequence) {
+    ++submitted_;
+    sim_.schedule_at(a.arrival, [this, a] {
+      runtime::BoardRuntime& rt = least_loaded_active();
+      rt.submit(suite_.at(static_cast<std::size_t>(a.spec_index)),
+                a.spec_index, a.batch, a.arrival, a.item_interval);
+      on_queue_update();
+    });
+  }
+}
+
+void Cluster::on_queue_update() {
+  if (monitor_.on_queue_update()) sample_and_act();
+}
+
+void Cluster::sample_and_act() {
+  core::DSwitchSample sample;
+  sample.time = sim_.now();
+  for (int index : active_epochs_) {
+    Epoch& epoch = *epochs_[static_cast<std::size_t>(index)];
+    runtime::BoardRuntime& rt = *epoch.runtime;
+    sample.blocked += rt.window_blocked();
+    rt.reset_window();
+    sample.prs += rt.counters().pr_requests - epoch.pr_snapshot;
+    epoch.pr_snapshot = rt.counters().pr_requests;
+    for (const runtime::AppRun& a : rt.apps()) {
+      if (a.spec == nullptr || a.done()) continue;
+      ++sample.apps;
+      sample.batch += a.batch;
+    }
+  }
+  if (sample.prs == 0 && sample.apps > 0) {
+    // No PR activity this window (slots are mid-batch): the sample carries
+    // no new contention information, so hold the previous level instead of
+    // reporting a spurious zero.
+    sample.value = monitor_.last();
+  } else {
+    sample.value = core::dswitch_value(sample.blocked, sample.prs,
+                                       sample.apps, sample.batch);
+  }
+  monitor_.record(sample);
+
+  if (!options_.enable_switching) return;
+  if (static_cast<int>(monitor_.trace().size()) <= options_.warmup_samples) {
+    return;
+  }
+  if (loop_.config() == core::SwitchLoop::Config::kOnlyLittle &&
+      sample.apps < options_.min_queue_for_switch) {
+    return;  // no sustained backlog: an upward switch would thrash
+  }
+  if (loop_.config() == core::SwitchLoop::Config::kBigLittle &&
+      sample.apps > options_.min_queue_for_switch) {
+    return;  // backlog persists: keep the contention-friendly fabric
+  }
+
+  core::SwitchLoop::Action action = loop_.feed(sample.value);
+  switch (action) {
+    case core::SwitchLoop::Action::kNone:
+      break;
+    case core::SwitchLoop::Action::kPrewarmBigLittle:
+      if (options_.enable_prewarm) {
+        prewarm(core::SwitchLoop::Config::kBigLittle);
+      }
+      break;
+    case core::SwitchLoop::Action::kPrewarmOnlyLittle:
+      if (options_.enable_prewarm) {
+        prewarm(core::SwitchLoop::Config::kOnlyLittle);
+      }
+      break;
+    case core::SwitchLoop::Action::kSwitchToBigLittle:
+      do_switch(core::SwitchLoop::Config::kBigLittle, sample.value);
+      break;
+    case core::SwitchLoop::Action::kSwitchToOnlyLittle:
+      do_switch(core::SwitchLoop::Config::kOnlyLittle, sample.value);
+      break;
+  }
+}
+
+bool Cluster::pool_free(core::SwitchLoop::Config config) const {
+  const auto& pool = config == core::SwitchLoop::Config::kBigLittle
+                         ? boards_bl_
+                         : boards_ol_;
+  for (const auto& e : epochs_) {
+    for (const auto& board : pool) {
+      if (e->board == board.get() && !e->runtime->drained()) return false;
+    }
+  }
+  return true;
+}
+
+void Cluster::prewarm(core::SwitchLoop::Config config) {
+  // Background-load every suite bitstream variant into the spare boards'
+  // SD/DDR stores so PRs after the switch skip the SD fetch.
+  for (fpga::Board* board : boards_for(config)) {
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+      const apps::AppSpec& spec = suite_[i];
+      // Partial bitstreams are placement-specific: warm every slot's
+      // variant of every task/bundle.
+      for (const fpga::Slot& slot : board->slots()) {
+        if (slot.kind() == fpga::SlotKind::kLittle) {
+          for (const apps::UnitSpec& u : apps::make_little_units(spec)) {
+            board->sdcard().prewarm(runtime::unit_bitstream_key(
+                static_cast<int>(i), u, slot.id()));
+          }
+        } else {
+          // Both serial and parallel bundle bitstreams are pre-generated;
+          // warm the variants for representative batch extremes.
+          for (int batch : {1, 30}) {
+            for (const apps::UnitSpec& u : apps::make_big_units(
+                     spec, batch, options_.board_params,
+                     options_.bl_policy.synthesis,
+                     options_.bl_policy.bundle_size)) {
+              board->sdcard().prewarm(runtime::unit_bitstream_key(
+                  static_cast<int>(i), u, slot.id()));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
+  if (!pool_free(target)) {
+    // The spare pool is still draining a previous epoch: cannot switch yet.
+    // Revert the loop state so a later sample can retrigger.
+    loop_ = core::SwitchLoop(options_.t1, options_.t2,
+                             target == core::SwitchLoop::Config::kBigLittle
+                                 ? core::SwitchLoop::Config::kOnlyLittle
+                                 : core::SwitchLoop::Config::kBigLittle);
+    VS_WARN << "switch to " << config_name(target)
+            << " deferred: spare pool still draining";
+    return;
+  }
+
+  // The spare pool was pre-configured; its SD cards hold the full offline
+  // bitstream set, and staging into DDR happened in the background while
+  // idle (buffer-zone pre-warming made this explicit; a pool that jumped
+  // straight past T1 stages now, off the critical path).
+  prewarm(target);
+
+  // Drain every active origin board; collect its migratable applications.
+  std::vector<runtime::BoardRuntime::MigratedApp> migrated;
+  for (int index : active_epochs_) {
+    runtime::BoardRuntime& rt =
+        *epochs_[static_cast<std::size_t>(index)]->runtime;
+    rt.stop_admission();
+    auto part = rt.extract_migratable();
+    migrated.insert(migrated.end(), part.begin(), part.end());
+  }
+
+  activate_pool(target);
+
+  SwitchEvent event;
+  event.time = sim_.now();
+  event.to = target;
+  event.dswitch = d;
+  event.apps_migrated = static_cast<int>(migrated.size());
+  event.bytes = 4096;  // switch-control message
+  for (const auto& m : migrated) event.bytes += m.state_bytes;
+  std::size_t event_index = switch_events_.size();
+  switch_events_.push_back(event);
+
+  VS_INFO << "cross-board switch -> " << config_name(target) << " (D=" << d
+          << ", migrating " << migrated.size() << " apps, " << event.bytes
+          << " bytes)";
+
+  sim::SimTime t0 = sim_.now();
+  link_.transfer(event.bytes, [this, migrated = std::move(migrated), t0,
+                               event_index] {
+    switch_events_[event_index].overhead = sim_.now() - t0;
+    for (const auto& m : migrated) {
+      const apps::AppSpec& spec =
+          suite_.at(static_cast<std::size_t>(m.spec_index));
+      runtime::BoardRuntime& rt = least_loaded_active();
+      if (m.progress.empty()) {
+        rt.submit(spec, m.spec_index, m.batch, m.arrival, m.item_interval);
+      } else {
+        rt.submit_with_progress(spec, m.spec_index, m.batch, m.arrival,
+                                m.progress, m.item_interval);
+      }
+    }
+  });
+}
+
+}  // namespace vs::cluster

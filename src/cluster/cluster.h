@@ -1,0 +1,143 @@
+// Cluster manager: cross-board switching and live migration (§III-D).
+//
+// Owns two pools of boards — Only.Little-configured and Big.Little-
+// configured (one board each by default, matching the paper's two-ZCU216
+// cluster; `boards_per_config` scales the pools). The pool matching the
+// current configuration is *active*: arrivals are dispatched to its least-
+// loaded board. The D_switch metric is recomputed over the active pool
+// every `dswitch_period` candidate-queue updates and fed into the
+// Schmitt-trigger switch loop. On a switch: every origin board stops
+// admitting, applications that have not started — plus started apps paused
+// between tasks, which carry their per-task progress and intermediate
+// buffers — are extracted and transferred over the Aurora link to the
+// spare pool (live migration), new arrivals flow to the new active pool,
+// and origin boards drain their ongoing applications to completion before
+// being freed (so one available FPGA suffices to switch the whole system).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/task.h"
+#include "cluster/aurora.h"
+#include "core/dswitch.h"
+#include "core/versaslot_policy.h"
+#include "fpga/board.h"
+#include "runtime/board_runtime.h"
+#include "workload/generator.h"
+
+namespace vs::cluster {
+
+struct ClusterOptions {
+  // Schmitt thresholds. Note the dynamic range of D_switch: with batch
+  // sizes in [5, 30] the future-contention factor N_apps/N_batch is at most
+  // ~1/5 and typically ~1/17 per queued app, so useful thresholds sit well
+  // below the metric's theoretical (0,1) bound.
+  double t1 = 0.030;  ///< upper threshold (Only.Little -> Big.Little)
+  double t2 = 0.008;  ///< lower threshold (Big.Little -> Only.Little)
+  /// Stabilisation: samples to observe before the loop may act, and the
+  /// minimum candidate-queue depth for an upward switch (early samples are
+  /// noisy — a couple of blocked PRs against a near-empty queue can spike
+  /// the ratio without any sustained contention).
+  int warmup_samples = 4;
+  int min_queue_for_switch = 4;
+  int dswitch_period = 4;           ///< queue updates between recalcs
+  bool enable_switching = true;
+  bool enable_prewarm = true;
+  int boards_per_config = 1;        ///< pool size per fabric configuration
+  core::SwitchLoop::Config initial = core::SwitchLoop::Config::kOnlyLittle;
+  fpga::BoardParams board_params;
+  fpga::LinkParams link_params;
+  core::VersaSlotOptions bl_policy;  ///< mode forced to kBigLittle
+  core::VersaSlotOptions ol_policy;  ///< mode forced to kOnlyLittle
+};
+
+struct SwitchEvent {
+  sim::SimTime time = 0;
+  core::SwitchLoop::Config to = core::SwitchLoop::Config::kBigLittle;
+  double dswitch = 0.0;
+  int apps_migrated = 0;
+  std::int64_t bytes = 0;
+  sim::SimDuration overhead = 0;  ///< Aurora transfer time (filled on done)
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
+          ClusterOptions options = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Schedules all arrivals of a workload sequence into the simulator.
+  /// Each arrival is dispatched to the least-loaded active board.
+  void submit_sequence(const workload::Sequence& sequence);
+
+  /// All apps completed across boards and epochs.
+  [[nodiscard]] const std::vector<runtime::CompletedApp>& completed()
+      const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] const core::DSwitchMonitor& dswitch() const noexcept {
+    return monitor_;
+  }
+  [[nodiscard]] const std::vector<SwitchEvent>& switches() const noexcept {
+    return switch_events_;
+  }
+  [[nodiscard]] core::SwitchLoop::Config active_config() const noexcept {
+    return loop_.config();
+  }
+  /// First board of the active pool (pools of size 1 have exactly one).
+  [[nodiscard]] runtime::BoardRuntime& active_runtime() {
+    return *epochs_[static_cast<std::size_t>(active_epochs_.front())]->runtime;
+  }
+  [[nodiscard]] int active_board_count() const noexcept {
+    return static_cast<int>(active_epochs_.size());
+  }
+  [[nodiscard]] const ClusterOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] int submitted() const noexcept { return submitted_; }
+
+  /// True when every submitted app has completed.
+  [[nodiscard]] bool all_done() const noexcept {
+    return static_cast<int>(completed_.size()) == submitted_;
+  }
+
+ private:
+  struct Epoch {
+    fpga::Board* board = nullptr;
+    core::SwitchLoop::Config config = core::SwitchLoop::Config::kOnlyLittle;
+    std::unique_ptr<core::VersaSlotPolicy> policy;
+    std::unique_ptr<runtime::BoardRuntime> runtime;
+    std::int64_t pr_snapshot = 0;  ///< counters().pr_requests at last sample
+  };
+
+  int new_epoch(core::SwitchLoop::Config config, fpga::Board& board);
+  void activate_pool(core::SwitchLoop::Config config);
+  void on_queue_update();
+  void sample_and_act();
+  void prewarm(core::SwitchLoop::Config config);
+  void do_switch(core::SwitchLoop::Config target, double d);
+  [[nodiscard]] runtime::BoardRuntime& least_loaded_active();
+  [[nodiscard]] std::vector<fpga::Board*> boards_for(
+      core::SwitchLoop::Config config);
+  /// The pool for `config` is free when no undrained epoch uses its boards.
+  [[nodiscard]] bool pool_free(core::SwitchLoop::Config config) const;
+
+  sim::Simulator& sim_;
+  const std::vector<apps::AppSpec>& suite_;
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<fpga::Board>> boards_ol_;
+  std::vector<std::unique_ptr<fpga::Board>> boards_bl_;
+  AuroraLink link_;
+  core::DSwitchMonitor monitor_;
+  core::SwitchLoop loop_;
+  std::vector<std::unique_ptr<Epoch>> epochs_;
+  std::vector<int> active_epochs_;  ///< indices into epochs_
+  std::vector<runtime::CompletedApp> completed_;
+  std::vector<SwitchEvent> switch_events_;
+  int submitted_ = 0;
+};
+
+}  // namespace vs::cluster

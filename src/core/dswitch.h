@@ -1,0 +1,120 @@
+// The performance-degradation metric D_switch (Eq. 1) and the
+// Schmitt-trigger switch loop (§III-D, Fig 4).
+//
+//   D_switch = (N_blocked_tasks / N_PR) · (N_apps / N_batch),  0 < D < 1
+//
+// The first ratio measures the PR-contention degree observed in the current
+// sampling window (tasks blocked behind PCAP loads or core suspensions,
+// over PR operations issued); the second estimates *future* contention from
+// the candidate queue: many apps with small batches means near-worst-case
+// PR conflict (N_batch == N_apps is the paper's maximum-D scenario).
+//
+// The metric is recomputed every `period` updates of the application
+// candidate queue (arrivals and completions). The switch loop compares it
+// against two user-configurable thresholds T1 > T2 with the buffer zone in
+// between providing hysteresis (Schmitt trigger): crossing T1 upward
+// switches Only.Little -> Big.Little; falling to T2 switches back; inside
+// the buffer zone the anticipated target configuration is pre-warmed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vs::core {
+
+struct DSwitchSample {
+  sim::SimTime time = 0;
+  double value = 0.0;
+  std::int64_t blocked = 0;   ///< N_blocked_tasks in the window
+  std::int64_t prs = 0;       ///< N_PR in the window
+  int apps = 0;               ///< N_apps in the candidate queue
+  std::int64_t batch = 0;     ///< N_batch of the candidate queue
+};
+
+/// Computes one D_switch value; all clamping per Eq. (1)'s (0,1) range.
+[[nodiscard]] inline double dswitch_value(std::int64_t blocked,
+                                          std::int64_t prs, int apps,
+                                          std::int64_t batch) noexcept {
+  if (prs <= 0 || batch <= 0 || apps <= 0) return 0.0;
+  double contention =
+      static_cast<double>(blocked) / static_cast<double>(prs);
+  double future = static_cast<double>(apps) / static_cast<double>(batch);
+  return std::clamp(contention * future, 0.0, 1.0);
+}
+
+/// Windowed sampler: counts candidate-queue updates and says when to
+/// recompute. Owns the sample history for Fig 8's trace.
+class DSwitchMonitor {
+ public:
+  explicit DSwitchMonitor(int period = 4) : period_(period) {}
+
+  /// Registers one candidate-queue update (arrival or completion).
+  /// Returns true when a recomputation is due.
+  bool on_queue_update() {
+    ++updates_;
+    if (updates_ >= period_) {
+      updates_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  void record(DSwitchSample sample) { trace_.push_back(sample); }
+
+  [[nodiscard]] const std::vector<DSwitchSample>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] double last() const noexcept {
+    return trace_.empty() ? 0.0 : trace_.back().value;
+  }
+  [[nodiscard]] int period() const noexcept { return period_; }
+
+ private:
+  int period_;
+  int updates_ = 0;
+  std::vector<DSwitchSample> trace_;
+};
+
+/// Schmitt-trigger state machine over the D_switch signal.
+class SwitchLoop {
+ public:
+  enum class Config { kOnlyLittle, kBigLittle };
+  enum class Action { kNone, kPrewarmBigLittle, kPrewarmOnlyLittle,
+                      kSwitchToBigLittle, kSwitchToOnlyLittle };
+
+  SwitchLoop(double t1, double t2,
+             Config initial = Config::kOnlyLittle) noexcept
+      : t1_(t1), t2_(t2), config_(initial) {}
+
+  /// Feeds one D_switch sample; returns the action the cluster must take.
+  [[nodiscard]] Action feed(double d) noexcept {
+    if (config_ == Config::kOnlyLittle) {
+      if (d >= t1_) {
+        config_ = Config::kBigLittle;
+        return Action::kSwitchToBigLittle;
+      }
+      if (d > t2_) return Action::kPrewarmBigLittle;  // buffer zone, rising
+    } else {
+      if (d <= t2_) {
+        config_ = Config::kOnlyLittle;
+        return Action::kSwitchToOnlyLittle;
+      }
+      if (d < t1_) return Action::kPrewarmOnlyLittle;  // buffer zone, falling
+    }
+    return Action::kNone;
+  }
+
+  [[nodiscard]] Config config() const noexcept { return config_; }
+  [[nodiscard]] double t1() const noexcept { return t1_; }
+  [[nodiscard]] double t2() const noexcept { return t2_; }
+
+ private:
+  double t1_;
+  double t2_;
+  Config config_;
+};
+
+}  // namespace vs::core

@@ -1,0 +1,269 @@
+#include "core/versaslot_policy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/board_runtime.h"
+
+namespace vs::core {
+
+namespace {
+
+int next_pending_unit(const runtime::AppRun& app) {
+  for (const runtime::UnitRun& u : app.units) {
+    if (u.state == runtime::UnitState::kPending) {
+      return static_cast<int>(&u - app.units.data());
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void VersaSlotPolicy::on_app_submitted(runtime::BoardRuntime& rt,
+                                       int app_id) {
+  AppState s;
+  s.wait_since = rt.sim().now();
+  const runtime::AppRun& app = rt.app(app_id);
+  int total_little = rt.board().count_slots(fpga::SlotKind::kLittle);
+  s.optimal_little = apps::optimal_little_slots(
+      *app.spec, app.batch, rt.board().params(), std::max(total_little, 1));
+  s.optimal_big = apps::optimal_big_slots(*app.spec, options_.bundle_size);
+  state_[app_id] = s;
+}
+
+bool VersaSlotPolicy::can_bundle_cached(runtime::BoardRuntime& rt,
+                                        int app_id) {
+  AppState& s = state_[app_id];
+  if (!s.bundle_checked) {
+    s.bundle_checked = true;
+    s.bundleable =
+        apps::can_bundle(*rt.app(app_id).spec, rt.board().params(),
+                         options_.synthesis, options_.bundle_size);
+  }
+  return s.bundleable;
+}
+
+void VersaSlotPolicy::on_pass(runtime::BoardRuntime& rt) {
+  allocate(rt);
+  schedule(rt);
+  preempt_little(rt);
+}
+
+// --------------------------------------------------------------- Algorithm 1
+void VersaSlotPolicy::allocate(runtime::BoardRuntime& rt) {
+  const bool big_little = options_.mode == VersaSlotOptions::Mode::kBigLittle;
+  const int big_total = rt.board().count_slots(fpga::SlotKind::kBig);
+  const int little_total = rt.board().count_slots(fpga::SlotKind::kLittle);
+
+  // Reserved Big slots: every Big-bound app keeps min(alloc, remaining
+  // bundles) reserved until it finishes (line 1 of Algorithm 1).
+  int big_reserved = 0;
+  int little_reserved = 0;
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec == nullptr || a.done()) continue;
+    auto it = state_.find(a.id);
+    if (it == state_.end()) continue;
+    const AppState& s = it->second;
+    if (s.binding == Binding::kBig) {
+      big_reserved += std::min(s.alloc_big, a.units_unfinished());
+    } else if (s.binding == Binding::kLittle) {
+      little_reserved += std::min(s.alloc_little, a.units_unfinished());
+    }
+  }
+  int big_avail = big_total - big_reserved;
+  int little_left = little_total - little_reserved;
+
+  if (big_avail <= 0 && little_left <= 0) return;  // line 2: nothing to do
+
+  // Rebinding (lines 4-6): Little-bound apps that have not started return
+  // to the waiting list when Big slots could take them.
+  if (big_little && options_.enable_rebinding && big_avail > 0) {
+    for (const runtime::AppRun& a : rt.apps()) {
+      if (a.spec == nullptr || a.done() || a.started) continue;
+      AppState& s = state_[a.id];
+      if (s.binding == Binding::kLittle) {
+        little_left += std::min(s.alloc_little, a.units_unfinished());
+        s.binding = Binding::kWaiting;
+        s.alloc_little = 0;
+      }
+    }
+  }
+
+  // Primary allocation (lines 7-13), waiting apps in arrival order.
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec == nullptr || a.done()) continue;
+    AppState& s = state_[a.id];
+    if (s.binding != Binding::kWaiting) continue;
+
+    // Binding: prioritise Big slots for bundleable apps (lines 8-10). On a
+    // fabric without Little slots, non-bundleable apps also bind Big when
+    // their units fit (bitstreams are generated "adaptive to each slot").
+    // Apps that already carry execution progress (live-migration arrivals)
+    // are pinned to their per-task decomposition and cannot be re-bundled.
+    bool big_eligible = !a.started && can_bundle_cached(rt, a.id);
+    if (!big_eligible && little_total == 0) {
+      auto units = apps::make_big_units(*a.spec, a.batch, rt.board().params(),
+                                        options_.synthesis,
+                                        options_.bundle_size);
+      big_eligible = true;
+      for (const apps::UnitSpec& u : units) {
+        big_eligible &= rt.board().params().big_slot.fits(u.impl_usage);
+      }
+    }
+    if (big_little && big_avail > 0 && big_eligible) {
+      int grant = std::min(s.optimal_big, big_avail);
+      s.binding = Binding::kBig;
+      s.alloc_big = grant;
+      big_avail -= grant;
+      // Online 3-in-1 bundling: re-unitise for Big-slot execution now that
+      // the binding is decided (Algorithm 2 lines 4-7).
+      rt.set_units(a.id, apps::make_big_units(*a.spec, a.batch,
+                                              rt.board().params(),
+                                              options_.synthesis,
+                                              options_.bundle_size,
+                                              options_.forced_bundle_mode));
+      continue;
+    }
+    // Binding with Little slots (lines 11-13).
+    if (little_left > 0) {
+      int grant = std::min(s.optimal_little, little_left);
+      s.binding = Binding::kLittle;
+      s.alloc_little = grant;
+      little_left -= grant;
+    }
+  }
+
+  // Redistribution of leftover Little slots (lines 14-18): runnable-queue
+  // front first, up to each app's remaining-unit demand.
+  if (options_.enable_redistribution && little_left > 0) {
+    for (const runtime::AppRun& a : rt.apps()) {
+      if (little_left <= 0) break;
+      if (a.spec == nullptr || a.done()) continue;
+      AppState& s = state_[a.id];
+      if (s.binding != Binding::kLittle) continue;
+      int delta = a.units_unfinished() - s.alloc_little;
+      if (delta <= 0) continue;
+      int extra = std::min(delta, little_left);
+      s.alloc_little += extra;
+      little_left -= extra;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Algorithm 2
+void VersaSlotPolicy::schedule(runtime::BoardRuntime& rt) {
+  // Schedule pending units to idle slots within each app's allocation
+  // (lines 13-19). PR requests are asynchronous: in dual-core mode they are
+  // queued on the PR-server core and this pass continues immediately.
+  std::vector<int> idle_big = rt.idle_slots(fpga::SlotKind::kBig);
+  std::vector<int> idle_little = rt.idle_slots(fpga::SlotKind::kLittle);
+
+  auto take = [&rt](int app_id, int unit, std::vector<int>& idle) {
+    int slot = rt.choose_slot(app_id, unit, idle);
+    idle.erase(std::find(idle.begin(), idle.end(), slot));
+    return slot;
+  };
+
+  bool placed = true;
+  while (placed) {
+    placed = false;
+    for (const runtime::AppRun& a : rt.apps()) {
+      if (a.spec == nullptr || a.done()) continue;
+      auto it = state_.find(a.id);
+      if (it == state_.end()) continue;
+      AppState& s = it->second;
+      int unit = next_pending_unit(a);
+      if (unit < 0) continue;
+      if (s.binding == Binding::kBig && !idle_big.empty() &&
+          a.units_placed() < s.alloc_big) {
+        rt.request_pr(a.id, unit, take(a.id, unit, idle_big));
+        placed = true;
+      } else if (s.binding == Binding::kLittle && !idle_little.empty() &&
+                 a.units_placed() < s.alloc_little) {
+        rt.request_pr(a.id, unit, take(a.id, unit, idle_little));
+        placed = true;
+        s.wait_since = rt.sim().now();
+      }
+    }
+  }
+
+  // Refresh starvation clocks for apps that hold slots or have no work.
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec == nullptr || a.done()) continue;
+    auto it = state_.find(a.id);
+    if (it == state_.end()) continue;
+    if (a.units_placed() > 0 || next_pending_unit(a) < 0) {
+      it->second.wait_since = rt.sim().now();
+    }
+  }
+}
+
+void VersaSlotPolicy::preempt_little(runtime::BoardRuntime& rt) {
+  // Preemption applies only in Little slots (§III-C2): find the longest
+  // slot-less waiter past the threshold — either a Little-bound app whose
+  // slots were all taken, or an app still waiting for any binding because
+  // redistribution handed every Little slot to earlier apps.
+  int starving = -1;
+  sim::SimTime oldest = rt.sim().now();
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec == nullptr || a.done()) continue;
+    auto it = state_.find(a.id);
+    if (it == state_.end()) continue;
+    const AppState& s = it->second;
+    if (s.binding == Binding::kBig || a.units_placed() > 0) continue;
+    if (next_pending_unit(a) < 0) continue;
+    if (rt.sim().now() - s.wait_since < options_.starvation_threshold) {
+      continue;
+    }
+    if (s.wait_since <= oldest) {
+      oldest = s.wait_since;
+      starving = a.id;
+    }
+  }
+  if (starving < 0) return;
+
+  // ... and take one slot from the Little-bound app holding the most.
+  int victim = -1;
+  int victim_held = 1;  // must hold more than one slot to be preempted
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec == nullptr || a.done() || a.id == starving) continue;
+    auto it = state_.find(a.id);
+    if (it == state_.end() || it->second.binding != Binding::kLittle) continue;
+    if (rt.sim().now() - it->second.last_preempted <
+            options_.preempt_cooldown &&
+        it->second.last_preempted >= 0) {
+      continue;
+    }
+    int held = a.units_placed();
+    if (held > victim_held) {
+      victim_held = held;
+      victim = a.id;
+    }
+  }
+  if (victim < 0) return;
+
+  runtime::AppRun& v = rt.app(victim);
+  for (const runtime::UnitRun& u : v.units) {
+    if (u.state == runtime::UnitState::kRunning && !u.item_in_flight) {
+      int unit_index = static_cast<int>(&u - v.units.data());
+      rt.preempt_unit(victim, unit_index);
+      AppState& vs_state = state_[victim];
+      vs_state.last_preempted = rt.sim().now();
+      if (vs_state.alloc_little > 1) --vs_state.alloc_little;
+      AppState& st = state_[starving];
+      st.binding = Binding::kLittle;  // waiting apps enter the Little pool
+      st.alloc_little = std::max(st.alloc_little, 1);
+      std::vector<int> idle = rt.idle_slots(fpga::SlotKind::kLittle);
+      int pending = next_pending_unit(rt.app(starving));
+      if (!idle.empty() && pending >= 0) {
+        rt.request_pr(starving, pending,
+                      rt.choose_slot(starving, pending, idle));
+        st.wait_since = rt.sim().now();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace vs::core

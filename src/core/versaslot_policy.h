@@ -1,0 +1,97 @@
+// The VersaSlot scheduling policy — the paper's core contribution.
+//
+// Implements Algorithm 1 (slot allocation: primary allocation with
+// Big-slot-first binding, redistribution of leftover Little slots, and
+// rebinding of not-yet-started Little apps when Big slots free up) and
+// Algorithm 2 (scheduling: online 3-in-1 bundling for Big-bound apps,
+// batch-execution launching decoupled from PR, asynchronous PR dispatch to
+// the dedicated PR-server core, per-app slot caps, and preemption only in
+// Little slots).
+//
+// Runs in two modes mirroring the paper's two fabric configurations:
+//  - kBigLittle: heterogeneous slots, bundling, rebinding, redistribution.
+//  - kOnlyLittle: uniform slots with dual-core scheduling, same-app task
+//    pre-loading and Nimblock-style preemption (the paper's Only.Little
+//    VersaSlot variant).
+//
+// Every design knob is an option so the ablation benches can switch the
+// paper's individual mechanisms off.
+#pragma once
+
+#include <unordered_map>
+
+#include "apps/bundling.h"
+#include "apps/synthesis.h"
+#include "runtime/policy.h"
+#include "sim/time.h"
+
+namespace vs::core {
+
+struct VersaSlotOptions {
+  enum class Mode { kBigLittle, kOnlyLittle };
+  Mode mode = Mode::kBigLittle;
+
+  bool dual_core = true;            ///< PR server on the second core
+  bool enable_redistribution = true;
+  bool enable_rebinding = true;
+  int bundle_size = 3;              ///< tasks per Big-slot bundle
+  /// Ablation: override the runtime serial/parallel bundle selection.
+  std::optional<apps::BundleMode> forced_bundle_mode;
+
+  /// Little-slot preemption (Big-bound apps are never preempted).
+  sim::SimDuration starvation_threshold = sim::ms(200.0);
+  sim::SimDuration preempt_cooldown = sim::ms(100.0);
+
+  apps::SynthesisModel synthesis;   ///< for bundle fit checks
+};
+
+class VersaSlotPolicy : public runtime::SchedulerPolicy {
+ public:
+  explicit VersaSlotPolicy(VersaSlotOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] const char* name() const override {
+    return options_.mode == VersaSlotOptions::Mode::kBigLittle
+               ? "VersaSlot-BL"
+               : "VersaSlot-OL";
+  }
+
+  [[nodiscard]] bool dual_core() const override { return options_.dual_core; }
+
+  void on_app_submitted(runtime::BoardRuntime& rt, int app_id) override;
+  void on_pass(runtime::BoardRuntime& rt) override;
+
+  /// Binding state, exposed for tests and the ablation benches.
+  enum class Binding { kWaiting, kBig, kLittle };
+  [[nodiscard]] Binding binding(int app_id) const {
+    auto it = state_.find(app_id);
+    return it != state_.end() ? it->second.binding : Binding::kWaiting;
+  }
+  [[nodiscard]] const VersaSlotOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct AppState {
+    Binding binding = Binding::kWaiting;
+    int alloc_big = 0;
+    int alloc_little = 0;
+    int optimal_big = 0;
+    int optimal_little = 0;
+    bool bundle_checked = false;
+    bool bundleable = false;
+    sim::SimTime wait_since = 0;
+    sim::SimTime last_preempted = -1;
+  };
+
+  void allocate(runtime::BoardRuntime& rt);   ///< Algorithm 1
+  void schedule(runtime::BoardRuntime& rt);   ///< Algorithm 2
+  void preempt_little(runtime::BoardRuntime& rt);
+
+  [[nodiscard]] bool can_bundle_cached(runtime::BoardRuntime& rt, int app_id);
+
+  VersaSlotOptions options_;
+  std::unordered_map<int, AppState> state_;
+};
+
+}  // namespace vs::core

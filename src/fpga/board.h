@@ -1,0 +1,90 @@
+// A simulated FPGA board: PS (two ARM cores, PCAP, OCM, SD card) plus PL
+// (the slot fabric and DMA paths). The BoardRuntime in src/runtime drives
+// it; schedulers never touch the board directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/fabric.h"
+#include "fpga/params.h"
+#include "fpga/pcap.h"
+#include "fpga/slot.h"
+#include "fpga/storage.h"
+#include "sim/core.h"
+#include "sim/simulator.h"
+
+namespace vs::fpga {
+
+class Board {
+ public:
+  Board(sim::Simulator& sim, std::string name, FabricConfig fabric,
+        BoardParams params = {})
+      : sim_(sim),
+        name_(std::move(name)),
+        params_(params),
+        fabric_(fabric),
+        slots_(make_slots(fabric, params_)),
+        core0_(sim, name_ + ".PS0"),
+        core1_(sim, name_ + ".PS1"),
+        pcap_(sim),
+        sdcard_(sim, params_),
+        ocm_(sim, params_),
+        dma_(sim, params_) {}
+
+  Board(const Board&) = delete;
+  Board& operator=(const Board&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const BoardParams& params() const noexcept { return params_; }
+  [[nodiscard]] const FabricConfig& fabric() const noexcept { return fabric_; }
+
+  [[nodiscard]] std::vector<Slot>& slots() noexcept { return slots_; }
+  [[nodiscard]] const std::vector<Slot>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] Slot& slot(int id) { return slots_.at(static_cast<std::size_t>(id)); }
+
+  /// Core 0 always hosts the scheduler; core 1 hosts the PR server when the
+  /// policy runs in dual-core mode.
+  [[nodiscard]] sim::Core& scheduler_core() noexcept { return core0_; }
+  [[nodiscard]] sim::Core& pr_core() noexcept { return core1_; }
+
+  [[nodiscard]] Pcap& pcap() noexcept { return pcap_; }
+  [[nodiscard]] SdCard& sdcard() noexcept { return sdcard_; }
+  [[nodiscard]] Ocm& ocm() noexcept { return ocm_; }
+  [[nodiscard]] Dma& dma() noexcept { return dma_; }
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+
+  [[nodiscard]] int count_slots(SlotKind kind) const {
+    int n = 0;
+    for (const Slot& s : slots_) n += (s.kind() == kind) ? 1 : 0;
+    return n;
+  }
+
+  /// Rebuilds the fabric with a new configuration. Real hardware needs a
+  /// full restart for this, which is exactly why the paper migrates to a
+  /// pre-configured spare board instead; the cluster layer uses this only
+  /// for spare-pool management between workloads.
+  void reconfigure_fabric(FabricConfig config) {
+    fabric_ = config;
+    slots_ = make_slots(config, params_);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  BoardParams params_;
+  FabricConfig fabric_;
+  std::vector<Slot> slots_;
+  sim::Core core0_;
+  sim::Core core1_;
+  Pcap pcap_;
+  SdCard sdcard_;
+  Ocm ocm_;
+  Dma dma_;
+};
+
+}  // namespace vs::fpga

@@ -1,0 +1,27 @@
+#include "fpga/fabric.h"
+
+namespace vs::fpga {
+
+std::vector<Slot> make_slots(const FabricConfig& config,
+                             const BoardParams& params) {
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(config.total_slots()));
+  int id = 0;
+  for (int i = 0; i < config.big_slots; ++i) {
+    slots.emplace_back(id++, SlotKind::kBig, params.big_slot);
+  }
+  for (int i = 0; i < config.little_slots; ++i) {
+    slots.emplace_back(id++, SlotKind::kLittle, params.little_slot);
+  }
+  return slots;
+}
+
+ResourceVector reconfigurable_capacity(const FabricConfig& config,
+                                       const BoardParams& params) {
+  ResourceVector total;
+  for (int i = 0; i < config.big_slots; ++i) total += params.big_slot;
+  for (int i = 0; i < config.little_slots; ++i) total += params.little_slot;
+  return total;
+}
+
+}  // namespace vs::fpga

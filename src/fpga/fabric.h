@@ -1,0 +1,58 @@
+// Fabric layout: how the programmable logic is carved into a static region
+// and reconfigurable slots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/params.h"
+#include "fpga/resources.h"
+#include "fpga/slot.h"
+
+namespace vs::fpga {
+
+enum class FabricKind { kBigLittle, kOnlyLittle, kCustom };
+
+[[nodiscard]] constexpr const char* to_string(FabricKind kind) noexcept {
+  switch (kind) {
+    case FabricKind::kBigLittle: return "Big.Little";
+    case FabricKind::kOnlyLittle: return "Only.Little";
+    case FabricKind::kCustom: return "Custom";
+  }
+  return "?";
+}
+
+struct FabricConfig {
+  FabricKind kind = FabricKind::kOnlyLittle;
+  int big_slots = 0;
+  int little_slots = 0;
+
+  [[nodiscard]] int total_slots() const noexcept {
+    return big_slots + little_slots;
+  }
+  [[nodiscard]] std::string name() const { return to_string(kind); }
+
+  /// The paper's Big.Little layout: 2 Big + 4 Little.
+  static FabricConfig big_little() {
+    return {FabricKind::kBigLittle, 2, 4};
+  }
+  /// The paper's Only.Little layout: 8 Little.
+  static FabricConfig only_little() {
+    return {FabricKind::kOnlyLittle, 0, 8};
+  }
+  /// "can be extended to any Big/Little configuration".
+  static FabricConfig custom(int big, int little) {
+    return {FabricKind::kCustom, big, little};
+  }
+};
+
+/// Instantiates the slot objects for a configuration. Big slots get ids
+/// 0..big-1, Little slots continue the numbering.
+[[nodiscard]] std::vector<Slot> make_slots(const FabricConfig& config,
+                                           const BoardParams& params);
+
+/// Total reconfigurable capacity of a fabric configuration.
+[[nodiscard]] ResourceVector reconfigurable_capacity(
+    const FabricConfig& config, const BoardParams& params);
+
+}  // namespace vs::fpga

@@ -1,0 +1,56 @@
+#include "fpga/pcap.h"
+
+#include <utility>
+
+namespace vs::fpga {
+
+void Pcap::request(sim::SimDuration load_duration, sim::Core& core,
+                   sim::EventFn on_done, std::string label,
+                   sim::EventFn on_blocked) {
+  Request req{load_duration, &core, std::move(on_done), std::move(label),
+              sim_.now()};
+  if (busy_) {
+    ++stats_.loads_queued_behind_another;
+    if (on_blocked) on_blocked();
+    queue_.push_back(std::move(req));
+    return;
+  }
+  start(std::move(req));
+}
+
+void Pcap::start(Request req) {
+  busy_ = true;
+  stats_.total_wait += sim_.now() - req.enqueued;
+  stats_.total_load += req.duration;
+  sim::SimDuration duration = req.duration;
+  sim::Core& core = *req.core;
+  std::string label = "pcap:" + req.label;
+  // The load suspends the issuing core: it is a core operation of the full
+  // load duration. Note: if the core is itself mid-operation, the load (and
+  // thus the PCAP) effectively starts when the core frees up — matching the
+  // real flow where the CPU drives the PCAP transfer.
+  core.submit(
+      duration,
+      [this, req = std::move(req)]() mutable {
+        if (failure_probability_ > 0 &&
+            rng_.bernoulli(failure_probability_)) {
+          // Verification failed: reload immediately, ahead of the queue.
+          ++stats_.load_failures;
+          req.enqueued = sim_.now();
+          busy_ = false;
+          start(std::move(req));
+          return;
+        }
+        ++stats_.loads_completed;
+        busy_ = false;
+        if (req.on_done) req.on_done();
+        if (!busy_ && !queue_.empty()) {
+          Request next = std::move(queue_.front());
+          queue_.pop_front();
+          start(std::move(next));
+        }
+      },
+      label);
+}
+
+}  // namespace vs::fpga

@@ -1,0 +1,77 @@
+// PCAP (Processor Configuration Access Port) model.
+//
+// The PCAP is the serial bottleneck at the heart of the paper: it loads one
+// partial bitstream at a time and suspends the issuing CPU core for the
+// duration of the load. Requests that arrive while a load is in flight wait
+// in a FIFO — that queueing delay is the "PR contention" VersaSlot is built
+// to alleviate, and we account for it explicitly so the D_switch metric can
+// observe it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/core.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace vs::fpga {
+
+class Pcap {
+ public:
+  Pcap(sim::Simulator& sim) : sim_(sim) {}
+
+  struct Stats {
+    std::int64_t loads_completed = 0;
+    std::int64_t loads_queued_behind_another = 0;  ///< waited in the FIFO
+    std::int64_t load_failures = 0;  ///< verification failures (retried)
+    sim::SimDuration total_wait = 0;               ///< time spent in FIFO
+    sim::SimDuration total_load = 0;               ///< time spent loading
+  };
+
+  /// Fault injection: each load independently fails verification with
+  /// probability `failure_probability` (DFX requires confirming the partial
+  /// bitstream loaded correctly; a CRC error forces a reload). Failed loads
+  /// consume their full transfer time, then retry — still ahead of queued
+  /// requests. Deterministic through the supplied RNG stream.
+  void set_fault_model(double failure_probability, util::Rng rng) {
+    failure_probability_ = failure_probability;
+    rng_ = rng;
+  }
+
+  /// Requests a load of `load_duration` issued from `core`. The load
+  /// occupies the PCAP exclusively and suspends `core` while transferring;
+  /// `on_done` fires at completion. `on_blocked`, if set, fires once if the
+  /// request had to wait behind another load (used for blocked-task
+  /// accounting).
+  void request(sim::SimDuration load_duration, sim::Core& core,
+               sim::EventFn on_done, std::string label = {},
+               sim::EventFn on_blocked = nullptr);
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t backlog() const noexcept { return queue_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Request {
+    sim::SimDuration duration;
+    sim::Core* core;
+    sim::EventFn on_done;
+    std::string label;
+    sim::SimTime enqueued;
+  };
+
+  void start(Request req);
+
+  sim::Simulator& sim_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  Stats stats_;
+  double failure_probability_ = 0.0;
+  util::Rng rng_;
+};
+
+}  // namespace vs::fpga

@@ -1,0 +1,180 @@
+// SD-card bitstream storage with an in-memory cache, plus the OCM mailbox
+// and AXI DMA latency models.
+//
+// The PR server loads pre-generated partial bitstreams from the SD card into
+// DDR before pushing them through the PCAP. Once a bitstream has been read
+// (or pre-warmed during cross-board switching), it stays memory-resident and
+// the SD cost disappears — this is the "loads task bitstreams into SD
+// storage in a new FPGA" pre-warming effect of §III-D.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "fpga/params.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace vs::fpga {
+
+/// Key identifying a stored bitstream: caller packs (app, task range,
+/// target slot, variant) into 64 bits — partial bitstreams are
+/// placement-specific.
+using BitstreamKey = std::uint64_t;
+
+/// SD-card controller: a serial device with an in-memory (DDR) cache.
+/// Reads go through its own DMA queue — one transfer at a time — and do
+/// not occupy a CPU core or the PCAP, so bitstream staging overlaps
+/// reconfiguration and execution (the PR server double-buffers), but a
+/// burst of distinct bitstream requests still queues at the card.
+class SdCard {
+ public:
+  SdCard(sim::Simulator& sim, const BoardParams& params)
+      : sim_(sim), params_(params) {}
+
+  /// Makes `key` memory-resident, then fires `on_ready`: immediately when
+  /// cached, after a queued SD read of `bytes` otherwise. `on_blocked`, if
+  /// set, fires once when the read had to wait behind another transfer
+  /// (PR-contention accounting).
+  void fetch(BitstreamKey key, std::int64_t bytes, sim::EventFn on_ready,
+             sim::EventFn on_blocked = nullptr) {
+    if (cache_.contains(key)) {
+      on_ready();
+      return;
+    }
+    ++misses_;
+    Pending p{key, bytes, std::move(on_ready)};
+    if (busy_) {
+      if (on_blocked) on_blocked();
+      queue_.push_back(std::move(p));
+      return;
+    }
+    start(std::move(p));
+  }
+
+  /// Synchronous variant for tests and estimators: the read time a cold
+  /// fetch of `key` would take (0 when cached). Marks the key cached.
+  [[nodiscard]] sim::SimDuration fetch_time(BitstreamKey key,
+                                            std::int64_t bytes) {
+    if (cache_.contains(key)) return 0;
+    cache_.insert(key);
+    ++misses_;
+    return params_.sd_read_time(bytes);
+  }
+
+  /// Placement-aware fetch with bitstream relocation: `content_key`
+  /// identifies the task logic independent of the target slot. An exact
+  /// (key) hit is free; when only another slot's variant of the same
+  /// content is resident, the variant is produced by an in-memory
+  /// copy-and-patch (relocation) instead of an SD read.
+  [[nodiscard]] sim::SimDuration fetch_time(BitstreamKey key,
+                                            BitstreamKey content_key,
+                                            std::int64_t bytes) {
+    if (cache_.contains(key)) return 0;
+    cache_.insert(key);
+    if (content_.contains(content_key)) {
+      ++relocations_;
+      return params_.reloc_time(bytes);
+    }
+    content_.insert(content_key);
+    ++misses_;
+    return params_.sd_read_time(bytes);
+  }
+
+  [[nodiscard]] std::int64_t relocations() const noexcept {
+    return relocations_;
+  }
+
+  /// Pre-warming: marks `key` resident without charging read time to the
+  /// critical path (the transfer happened in the background).
+  void prewarm(BitstreamKey key) { cache_.insert(key); }
+
+  [[nodiscard]] bool cached(BitstreamKey key) const {
+    return cache_.contains(key);
+  }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t backlog() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::int64_t misses() const noexcept { return misses_; }
+  void drop_cache() { cache_.clear(); }
+
+ private:
+  struct Pending {
+    BitstreamKey key;
+    std::int64_t bytes;
+    sim::EventFn on_ready;
+  };
+
+  void start(Pending p) {
+    busy_ = true;
+    sim_.schedule(params_.sd_read_time(p.bytes),
+                  [this, p = std::move(p)]() mutable {
+                    cache_.insert(p.key);
+                    busy_ = false;
+                    if (p.on_ready) p.on_ready();
+                    if (!busy_ && !queue_.empty()) {
+                      Pending next = std::move(queue_.front());
+                      queue_.pop_front();
+                      start(std::move(next));
+                    }
+                  });
+  }
+
+  sim::Simulator& sim_;
+  const BoardParams& params_;
+  std::unordered_set<BitstreamKey> cache_;
+  std::unordered_set<BitstreamKey> content_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  std::int64_t misses_ = 0;
+  std::int64_t relocations_ = 0;
+};
+
+/// On-Chip Memory mailbox: the PR server posts completion notices to the
+/// scheduler through the OCM; delivery costs a small fixed latency.
+class Ocm {
+ public:
+  Ocm(sim::Simulator& sim, const BoardParams& params)
+      : sim_(sim), params_(params) {}
+
+  void post(sim::EventFn deliver) {
+    ++messages_;
+    sim_.schedule(params_.ocm_message_latency, std::move(deliver));
+  }
+
+  [[nodiscard]] std::int64_t messages() const noexcept { return messages_; }
+
+ private:
+  sim::Simulator& sim_;
+  const BoardParams& params_;
+  std::int64_t messages_ = 0;
+};
+
+/// AXI DMA engine for application data. Transfers are not serialised: the
+/// interconnect has ample parallel bandwidth relative to our payload sizes,
+/// so each transfer simply takes bytes/bandwidth + setup.
+class Dma {
+ public:
+  Dma(sim::Simulator& sim, const BoardParams& params)
+      : sim_(sim), params_(params) {}
+
+  void transfer(std::int64_t bytes, sim::EventFn on_done) {
+    ++transfers_;
+    bytes_moved_ += bytes;
+    sim_.schedule(params_.dma_time(bytes), std::move(on_done));
+  }
+
+  [[nodiscard]] std::int64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] std::int64_t bytes_moved() const noexcept {
+    return bytes_moved_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  const BoardParams& params_;
+  std::int64_t transfers_ = 0;
+  std::int64_t bytes_moved_ = 0;
+};
+
+}  // namespace vs::fpga

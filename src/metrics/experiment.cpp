@@ -1,0 +1,139 @@
+#include "metrics/experiment.h"
+
+#include <stdexcept>
+
+#include "baselines/baseline_exclusive.h"
+#include "baselines/dml.h"
+#include "baselines/fcfs.h"
+#include "baselines/nimblock.h"
+#include "baselines/round_robin.h"
+#include "fpga/board.h"
+#include "sim/simulator.h"
+#include "sim/trace_export.h"
+
+namespace vs::metrics {
+
+const char* system_name(SystemKind kind) noexcept {
+  switch (kind) {
+    case SystemKind::kBaseline: return "Baseline";
+    case SystemKind::kFcfs: return "FCFS";
+    case SystemKind::kRoundRobin: return "RR";
+    case SystemKind::kNimblock: return "Nimblock";
+    case SystemKind::kVersaOnlyLittle: return "VersaSlot-OL";
+    case SystemKind::kVersaBigLittle: return "VersaSlot-BL";
+    case SystemKind::kDml: return "DML";
+  }
+  return "?";
+}
+
+fpga::FabricConfig fabric_for(SystemKind kind) {
+  return kind == SystemKind::kVersaBigLittle
+             ? fpga::FabricConfig::big_little()
+             : fpga::FabricConfig::only_little();
+}
+
+std::unique_ptr<runtime::SchedulerPolicy> make_policy(
+    SystemKind kind, const core::VersaSlotOptions& vs_options) {
+  switch (kind) {
+    case SystemKind::kBaseline:
+      return std::make_unique<baselines::BaselineExclusivePolicy>();
+    case SystemKind::kFcfs:
+      return std::make_unique<baselines::FcfsPolicy>();
+    case SystemKind::kRoundRobin:
+      return std::make_unique<baselines::RoundRobinPolicy>();
+    case SystemKind::kNimblock:
+      return std::make_unique<baselines::NimblockPolicy>();
+    case SystemKind::kVersaOnlyLittle: {
+      core::VersaSlotOptions o = vs_options;
+      o.mode = core::VersaSlotOptions::Mode::kOnlyLittle;
+      return std::make_unique<core::VersaSlotPolicy>(o);
+    }
+    case SystemKind::kVersaBigLittle: {
+      core::VersaSlotOptions o = vs_options;
+      o.mode = core::VersaSlotOptions::Mode::kBigLittle;
+      return std::make_unique<core::VersaSlotPolicy>(o);
+    }
+    case SystemKind::kDml:
+      return std::make_unique<baselines::DmlPolicy>();
+  }
+  throw std::invalid_argument("unknown SystemKind");
+}
+
+RunResult run_single_board(SystemKind kind,
+                           const std::vector<apps::AppSpec>& suite,
+                           const workload::Sequence& sequence,
+                           const RunOptions& options) {
+  sim::Simulator sim;
+  fpga::Board board(sim, "fpga0",
+                    options.fabric.value_or(fabric_for(kind)),
+                    options.board_params);
+  auto policy = make_policy(kind, options.vs_options);
+  runtime::BoardRuntime rt(board, *policy);
+  rt.trace().enable(options.record_trace);
+
+  for (const apps::AppArrival& a : sequence) {
+    sim.schedule_at(a.arrival, [&rt, &suite, a] {
+      rt.submit(suite.at(static_cast<std::size_t>(a.spec_index)),
+                a.spec_index, a.batch, a.arrival, a.item_interval);
+    });
+  }
+  sim.run(options.time_limit);
+  if (options.record_trace && !options.trace_path.empty()) {
+    sim::write_chrome_trace_file(rt.trace().spans(), options.trace_path);
+  }
+
+  RunResult result;
+  result.system = system_name(kind);
+  result.submitted = static_cast<int>(sequence.size());
+  result.completed = static_cast<int>(rt.completed().size());
+  for (const runtime::CompletedApp& c : rt.completed()) {
+    result.apps.push_back(c);
+    result.response_ms.push_back(c.response_ms());
+    result.makespan = std::max(result.makespan, c.completed);
+  }
+  result.response = util::summarize(result.response_ms);
+  result.counters = rt.counters();
+  result.utilization = rt.utilization();
+  return result;
+}
+
+AggregateResult aggregate(SystemKind kind,
+                          const std::vector<apps::AppSpec>& suite,
+                          const std::vector<workload::Sequence>& sequences,
+                          const RunOptions& options) {
+  AggregateResult agg;
+  agg.system = system_name(kind);
+  for (const workload::Sequence& seq : sequences) {
+    RunResult r = run_single_board(kind, suite, seq, options);
+    agg.all_responses_ms.insert(agg.all_responses_ms.end(),
+                                r.response_ms.begin(), r.response_ms.end());
+  }
+  util::Summary s = util::summarize(agg.all_responses_ms);
+  agg.mean_response_ms = s.mean;
+  agg.p95_ms = s.p95;
+  agg.p99_ms = s.p99;
+  return agg;
+}
+
+ClusterRunResult run_cluster(const std::vector<apps::AppSpec>& suite,
+                             const workload::Sequence& sequence,
+                             const cluster::ClusterOptions& options,
+                             sim::SimTime time_limit) {
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim, suite, options);
+  cluster.submit_sequence(sequence);
+  sim.run(time_limit);
+
+  ClusterRunResult result;
+  result.submitted = cluster.submitted();
+  result.completed = static_cast<int>(cluster.completed().size());
+  for (const runtime::CompletedApp& c : cluster.completed()) {
+    result.response_ms.push_back(c.response_ms());
+  }
+  result.response = util::summarize(result.response_ms);
+  result.dswitch_trace = cluster.dswitch().trace();
+  result.switches = cluster.switches();
+  return result;
+}
+
+}  // namespace vs::metrics

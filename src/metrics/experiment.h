@@ -1,0 +1,114 @@
+// Experiment harness shared by the benches, tests and examples: runs one
+// workload sequence under one of the six compared systems on a fresh
+// simulated board (or on the two-board cluster) and collects the metrics
+// the paper reports.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/task.h"
+#include "cluster/cluster.h"
+#include "core/versaslot_policy.h"
+#include "fpga/params.h"
+#include "runtime/board_runtime.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace vs::metrics {
+
+/// The six systems of Figs 5/6 (Baseline, FCFS, RR, Nimblock, VersaSlot
+/// Only.Little, VersaSlot Big.Little) plus the DML extension system (not in
+/// the paper's comparison; see baselines/dml.h).
+enum class SystemKind {
+  kBaseline = 0,
+  kFcfs = 1,
+  kRoundRobin = 2,
+  kNimblock = 3,
+  kVersaOnlyLittle = 4,
+  kVersaBigLittle = 5,
+  kDml = 6,
+};
+
+/// The paper's comparison set (Fig 5/6 iterate exactly these).
+constexpr int kSystemCount = 6;
+/// All implemented systems including extensions.
+constexpr int kSystemCountExtended = 7;
+
+[[nodiscard]] const char* system_name(SystemKind kind) noexcept;
+
+/// Fabric configuration each system runs on (Big.Little only for the
+/// VersaSlot Big.Little system; all others use the uniform 8-slot layout).
+[[nodiscard]] fpga::FabricConfig fabric_for(SystemKind kind);
+
+/// Factory for the scheduler policy of a system. `vs_options` seeds the two
+/// VersaSlot variants (mode is overridden per kind) so the ablation benches
+/// can flip individual mechanisms.
+[[nodiscard]] std::unique_ptr<runtime::SchedulerPolicy> make_policy(
+    SystemKind kind, const core::VersaSlotOptions& vs_options = {});
+
+struct RunResult {
+  std::string system;
+  std::vector<runtime::CompletedApp> apps;  ///< completion order
+  std::vector<double> response_ms;   ///< per completed app
+  util::Summary response;            ///< summary over response_ms
+  runtime::RuntimeCounters counters;
+  runtime::UtilizationIntegral utilization;
+  sim::SimTime makespan = 0;         ///< completion time of the last app
+  int submitted = 0;
+  int completed = 0;
+};
+
+struct RunOptions {
+  fpga::BoardParams board_params;
+  core::VersaSlotOptions vs_options;
+  bool record_trace = false;
+  /// When record_trace is set and this is non-empty, the span log is also
+  /// written as Chrome trace-event JSON to this path after the run.
+  std::string trace_path;
+  /// Overrides the system's default fabric (design-space exploration of
+  /// "any Big/Little configuration", §III-A).
+  std::optional<fpga::FabricConfig> fabric;
+  /// Safety net: abort the run if simulated time passes this bound.
+  sim::SimTime time_limit = sim::seconds(36000.0);
+};
+
+/// Runs `sequence` to completion under `kind` on a fresh single board.
+[[nodiscard]] RunResult run_single_board(
+    SystemKind kind, const std::vector<apps::AppSpec>& suite,
+    const workload::Sequence& sequence, const RunOptions& options = {});
+
+/// Averages response-time summaries over several sequences (the paper runs
+/// 10 sequences per congestion condition and reports means).
+struct AggregateResult {
+  std::string system;
+  double mean_response_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  std::vector<double> all_responses_ms;  ///< pooled across sequences
+};
+
+[[nodiscard]] AggregateResult aggregate(
+    SystemKind kind, const std::vector<apps::AppSpec>& suite,
+    const std::vector<workload::Sequence>& sequences,
+    const RunOptions& options = {});
+
+/// Cluster run (Fig 8): live D_switch monitoring, optional switching.
+struct ClusterRunResult {
+  std::vector<double> response_ms;
+  util::Summary response;
+  std::vector<core::DSwitchSample> dswitch_trace;
+  std::vector<cluster::SwitchEvent> switches;
+  int submitted = 0;
+  int completed = 0;
+};
+
+[[nodiscard]] ClusterRunResult run_cluster(
+    const std::vector<apps::AppSpec>& suite,
+    const workload::Sequence& sequence,
+    const cluster::ClusterOptions& options,
+    sim::SimTime time_limit = sim::seconds(36000.0));
+
+}  // namespace vs::metrics

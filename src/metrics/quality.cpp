@@ -1,0 +1,67 @@
+#include "metrics/quality.h"
+
+#include <algorithm>
+
+#include "apps/bundling.h"
+#include "util/stats.h"
+
+namespace vs::metrics {
+
+sim::SimDuration alone_estimate(const apps::AppSpec& app, int batch,
+                                const fpga::BoardParams& params,
+                                int total_little) {
+  int k = apps::optimal_little_slots(app, batch, params, total_little);
+  return apps::estimate_little_makespan(app, batch, k, params);
+}
+
+QualityReport quality(const RunResult& run,
+                      const std::vector<apps::AppSpec>& suite,
+                      const workload::Sequence& sequence,
+                      const fpga::BoardParams& params) {
+  QualityReport report;
+  if (run.apps.empty()) return report;
+
+  std::vector<double> slowdowns;
+  sim::SimTime first_arrival = run.apps.front().arrival;
+  sim::SimTime last_completion = 0;
+  for (const runtime::CompletedApp& c : run.apps) {
+    first_arrival = std::min(first_arrival, c.arrival);
+    last_completion = std::max(last_completion, c.completed);
+    // app_id is the submission index, which matches the sequence order.
+    if (c.app_id < 0 ||
+        c.app_id >= static_cast<int>(sequence.size())) {
+      continue;
+    }
+    const apps::AppArrival& a =
+        sequence[static_cast<std::size_t>(c.app_id)];
+    const apps::AppSpec& spec =
+        suite[static_cast<std::size_t>(a.spec_index)];
+    double ideal_ms =
+        sim::to_ms(alone_estimate(spec, a.batch, params));
+    if (ideal_ms <= 0) continue;
+    slowdowns.push_back(c.response_ms() / ideal_ms);
+  }
+  if (slowdowns.empty()) return report;
+
+  util::Summary s = util::summarize(slowdowns);
+  report.mean_slowdown = s.mean;
+  report.p95_slowdown = s.p95;
+  report.max_slowdown = s.max;
+
+  double sum = 0, sum_sq = 0;
+  for (double v : slowdowns) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  report.jain_fairness =
+      sum * sum / (static_cast<double>(slowdowns.size()) * sum_sq);
+
+  report.makespan_s = sim::to_seconds(last_completion - first_arrival);
+  if (report.makespan_s > 0) {
+    report.throughput_apps_per_s =
+        static_cast<double>(run.apps.size()) / report.makespan_s;
+  }
+  return report;
+}
+
+}  // namespace vs::metrics

@@ -1,0 +1,45 @@
+// Scheduling-quality metrics beyond raw response time: per-application
+// slowdown (response over an estimate of the app's unshared run time),
+// Jain's fairness index over slowdowns, system throughput and makespan.
+// Used by the extension benches to compare schedulers on dimensions the
+// paper discusses qualitatively (monopolisation, starvation, fairness of
+// preemption).
+#pragma once
+
+#include <vector>
+
+#include "apps/task.h"
+#include "fpga/params.h"
+#include "metrics/experiment.h"
+
+namespace vs::metrics {
+
+struct QualityReport {
+  /// Per-app slowdown = response time / estimated alone-on-the-fabric time.
+  double mean_slowdown = 0;
+  double p95_slowdown = 0;
+  double max_slowdown = 0;
+  /// Jain's fairness index over slowdowns: 1 = perfectly fair, 1/n = one
+  /// app got everything.
+  double jain_fairness = 0;
+  /// Time from first arrival to last completion.
+  double makespan_s = 0;
+  /// Completed apps per second of makespan.
+  double throughput_apps_per_s = 0;
+};
+
+/// Estimated response time of `app` at `batch` items if it had the board to
+/// itself (pipeline on its optimal Little-slot allocation, including PR).
+[[nodiscard]] sim::SimDuration alone_estimate(const apps::AppSpec& app,
+                                              int batch,
+                                              const fpga::BoardParams& params,
+                                              int total_little = 8);
+
+/// Computes the quality report from a finished run. `sequence` provides the
+/// batch sizes keyed by the same submission order used by the runtime.
+[[nodiscard]] QualityReport quality(const RunResult& run,
+                                    const std::vector<apps::AppSpec>& suite,
+                                    const workload::Sequence& sequence,
+                                    const fpga::BoardParams& params = {});
+
+}  // namespace vs::metrics

@@ -1,0 +1,475 @@
+#include "runtime/board_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/log.h"
+
+namespace vs::runtime {
+
+fpga::BitstreamKey unit_bitstream_key(int spec_index,
+                                      const apps::UnitSpec& unit,
+                                      int slot_id) noexcept {
+  return (static_cast<fpga::BitstreamKey>(static_cast<std::uint32_t>(
+              spec_index))
+          << 32) |
+         (static_cast<fpga::BitstreamKey>(
+              static_cast<std::uint8_t>(unit.first_task))
+          << 24) |
+         (static_cast<fpga::BitstreamKey>(
+              static_cast<std::uint8_t>(unit.last_task))
+          << 16) |
+         (static_cast<fpga::BitstreamKey>(
+              static_cast<std::uint8_t>(slot_id))
+          << 8) |
+         static_cast<fpga::BitstreamKey>(static_cast<std::uint8_t>(unit.mode));
+}
+
+BoardRuntime::BoardRuntime(fpga::Board& board, SchedulerPolicy& policy)
+    : board_(board), policy_(policy), dual_core_(policy.dual_core()) {
+  policy_.attach(*this);
+}
+
+int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
+                         sim::SimTime arrival,
+                         sim::SimDuration item_interval) {
+  assert(admission_open_ && "board is draining; submit to the active board");
+  assert(batch >= 1);
+  AppRun app;
+  app.id = static_cast<int>(apps_.size());
+  app.spec = &spec;
+  app.spec_index = spec_index;
+  app.arrival = arrival;
+  app.admitted = sim().now();
+  app.batch = batch;
+  app.item_interval = item_interval;
+  auto units = apps::make_little_units(spec);
+  app.units.reserve(units.size());
+  for (auto& u : units) app.units.push_back(UnitRun{std::move(u)});
+  apps_.push_back(std::move(app));
+  int id = apps_.back().id;
+  policy_.on_app_submitted(*this, id);
+  kick();
+  return id;
+}
+
+void BoardRuntime::set_units(int app_id, std::vector<apps::UnitSpec> units) {
+  AppRun& a = app(app_id);
+  assert(!a.started && "cannot re-unitise an app that has begun execution");
+  assert(!units.empty());
+  a.units.clear();
+  a.units.reserve(units.size());
+  for (auto& u : units) a.units.push_back(UnitRun{std::move(u)});
+}
+
+std::vector<int> BoardRuntime::idle_slots(fpga::SlotKind kind) const {
+  std::vector<int> out;
+  for (const fpga::Slot& s : board_.slots()) {
+    if (s.kind() == kind && s.state() == fpga::SlotState::kIdle) {
+      out.push_back(s.id());
+    }
+  }
+  return out;
+}
+
+int BoardRuntime::count_idle_slots(fpga::SlotKind kind) const {
+  int n = 0;
+  for (const fpga::Slot& s : board_.slots()) {
+    n += (s.kind() == kind && s.state() == fpga::SlotState::kIdle);
+  }
+  return n;
+}
+
+int BoardRuntime::choose_slot(int app_id, int unit_index,
+                              const std::vector<int>& candidates) const {
+  assert(!candidates.empty());
+  const AppRun& a = app(app_id);
+  const UnitRun& u = a.units[static_cast<std::size_t>(unit_index)];
+  for (int slot_id : candidates) {
+    fpga::BitstreamKey key =
+        unit_bitstream_key(a.spec_index, u.spec, slot_id);
+    if (board_.sdcard().cached(key)) return slot_id;
+  }
+  return candidates.front();
+}
+
+bool BoardRuntime::item_ready(const AppRun& app, int unit_index) const {
+  const UnitRun& u = app.units[static_cast<std::size_t>(unit_index)];
+  if (u.items_done >= app.batch) return false;
+  if (unit_index == 0) {
+    // Streaming sources gate the first stage on item availability.
+    return u.items_done < app.items_available(sim_now());
+  }
+  const UnitRun& up = app.units[static_cast<std::size_t>(unit_index - 1)];
+  return up.items_done > u.items_done;
+}
+
+int BoardRuntime::active_apps() const noexcept {
+  int n = 0;
+  for (const AppRun& a : apps_) n += (!a.done() && a.spec != nullptr);
+  return n;
+}
+
+void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
+  AppRun& a = app(app_id);
+  UnitRun& u = a.units[static_cast<std::size_t>(unit_index)];
+  fpga::Slot& slot = board_.slot(slot_id);
+  assert(u.state == UnitState::kPending && "unit must be pending to PR");
+  assert(slot.state() == fpga::SlotState::kIdle && "slot must be idle");
+  assert(slot.kind() == u.spec.slot_kind && "slot kind mismatch");
+  assert(slot.capacity().fits(u.spec.impl_usage) &&
+         "unit does not fit the slot at implementation");
+
+  touch_utilization();
+  fpga::BitstreamKey key = unit_bitstream_key(a.spec_index, u.spec, slot_id);
+  slot.begin_reconfig(app_id, key);
+  u.state = UnitState::kReconfiguring;
+  u.slot = slot_id;
+  u.pr_was_blocked = false;
+  a.started = true;
+  ++counters_.pr_requests;
+
+  const fpga::BoardParams& p = board_.params();
+  // The bare-metal PR flow runs entirely on the issuing core: read the
+  // partial bitstream from the SD card into DDR (skipped when a previous
+  // load of this placement-specific bitstream left it resident), then push
+  // it through the PCAP. Both halves hold the core — this is precisely why
+  // the single-core designs block launches for the whole duration, and why
+  // VersaSlot moves the flow to a dedicated PR-server core.
+  // Content key: the same task/bundle logic independent of the target slot
+  // (slot byte canonicalised), enabling in-DDR bitstream relocation.
+  fpga::BitstreamKey content_key =
+      unit_bitstream_key(a.spec_index, u.spec, 0xFF);
+  sim::SimDuration duration =
+      board_.sdcard().fetch_time(key, content_key, u.spec.bitstream_bytes) +
+      p.pcap_load_time(u.spec.bitstream_bytes);
+  sim::Core& core = dual_core_ ? board_.pr_core() : board_.scheduler_core();
+  std::string label = a.spec->name + "#" + std::to_string(app_id) + ".u" +
+                      std::to_string(unit_index);
+  sim::SimTime requested = sim().now();
+
+  board_.pcap().request(
+      duration, core,
+      [this, app_id, unit_index, requested, label]() {
+        AppRun& a2 = app(app_id);
+        UnitRun& u2 = a2.units[static_cast<std::size_t>(unit_index)];
+        touch_utilization();
+        board_.slot(u2.slot).finish_reconfig();
+        u2.state = UnitState::kRunning;
+        trace_.add(requested, sim().now(), board_.slot(u2.slot).name(),
+                   label + " PR", sim::SpanKind::kReconfig);
+        // The PR server notifies the scheduler through the OCM mailbox.
+        board_.ocm().post([this] { kick(); });
+      },
+      label,
+      [this, app_id, unit_index]() {
+        UnitRun& blocked_unit =
+            app(app_id).units[static_cast<std::size_t>(unit_index)];
+        if (blocked_unit.pr_was_blocked) return;
+        blocked_unit.pr_was_blocked = true;
+        ++counters_.pr_blocked;
+        ++window_blocked_;
+      });
+}
+
+void BoardRuntime::request_full_reconfig(int app_id) {
+  AppRun& a = app(app_id);
+  assert(full_fabric_app_ == -1 && "fabric already owned");
+  for (const fpga::Slot& s : board_.slots()) {
+    assert(s.state() == fpga::SlotState::kIdle &&
+           "full reconfig requires an empty fabric");
+    (void)s;
+  }
+  touch_utilization();
+  full_fabric_app_ = app_id;
+  a.started = true;
+  ++counters_.pr_requests;
+  for (UnitRun& u : a.units) {
+    u.state = UnitState::kReconfiguring;
+    u.slot = -2;
+  }
+  const fpga::BoardParams& p = board_.params();
+  fpga::BitstreamKey key =
+      unit_bitstream_key(a.spec_index, a.units.front().spec, 0) |
+      (1ULL << 63);
+  sim::SimDuration duration = board_.sdcard().fetch_time(
+                                  key, p.full_bitstream_bytes) +
+                              p.pcap_load_time(p.full_bitstream_bytes) +
+                              p.full_reconfig_restart;
+  sim::SimTime requested = sim().now();
+  board_.pcap().request(
+      duration, board_.scheduler_core(),
+      [this, app_id, requested]() {
+        AppRun& a2 = app(app_id);
+        touch_utilization();
+        for (UnitRun& u : a2.units) u.state = UnitState::kRunning;
+        trace_.add(requested, sim().now(), "fabric",
+                   a2.spec->name + "#" + std::to_string(app_id) + " full",
+                   sim::SpanKind::kReconfig);
+        kick();
+      },
+      a.spec->name + "#" + std::to_string(app_id) + ".full");
+}
+
+void BoardRuntime::preempt_unit(int app_id, int unit_index) {
+  AppRun& a = app(app_id);
+  UnitRun& u = a.units[static_cast<std::size_t>(unit_index)];
+  assert(u.state == UnitState::kRunning && !u.item_in_flight &&
+         "preemption only at item boundaries");
+  assert(u.slot >= 0);
+  touch_utilization();
+  board_.slot(u.slot).release();
+  u.state = UnitState::kPending;
+  u.slot = -1;
+  ++counters_.preemptions;
+}
+
+int BoardRuntime::submit_with_progress(const apps::AppSpec& spec,
+                                       int spec_index, int batch,
+                                       sim::SimTime arrival,
+                                       const std::vector<int>& items_done,
+                                       sim::SimDuration item_interval) {
+  int id = submit(spec, spec_index, batch, arrival, item_interval);
+  AppRun& a = app(id);
+  assert(items_done.size() == a.units.size() &&
+         "progress vector must cover every task");
+  int upstream = batch;
+  for (std::size_t i = 0; i < items_done.size(); ++i) {
+    int done = items_done[i];
+    assert(done >= 0 && done <= batch && done <= upstream &&
+           "progress must be monotone non-increasing along the pipeline");
+    upstream = done;
+    UnitRun& u = a.units[i];
+    u.items_done = done;
+    if (done >= batch) u.state = UnitState::kFinished;
+  }
+  // Mark started so policies neither re-unitise nor rebind the app: its
+  // per-task progress pins the Little decomposition.
+  a.started = true;
+  check_app_complete(a);
+  kick();
+  return id;
+}
+
+namespace {
+
+BoardRuntime::MigratedApp migrated_descriptor(const AppRun& a) {
+  BoardRuntime::MigratedApp m;
+  m.spec_index = a.spec_index;
+  m.batch = a.batch;
+  m.arrival = a.arrival;
+  m.item_interval = a.item_interval;
+  // App descriptor plus per-item staging headers; bulk input data stays
+  // host-fetchable and is re-DMAed on the target board at launch time.
+  m.state_bytes = 4096 + static_cast<std::int64_t>(a.batch) * 16384;
+  return m;
+}
+
+}  // namespace
+
+std::vector<BoardRuntime::MigratedApp> BoardRuntime::extract_unstarted() {
+  std::vector<MigratedApp> out;
+  for (AppRun& a : apps_) {
+    if (a.spec == nullptr || a.started || a.done()) continue;
+    out.push_back(migrated_descriptor(a));
+    a.spec = nullptr;  // tombstone: extracted
+  }
+  return out;
+}
+
+std::vector<BoardRuntime::MigratedApp> BoardRuntime::extract_migratable() {
+  std::vector<MigratedApp> out = extract_unstarted();
+  for (AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done() || !a.started) continue;
+    // Paused: nothing placed, nothing mid-flight, and still on the per-task
+    // decomposition (one unit per task — bundled apps complete on the Big
+    // slots they are bound to, per §III-C).
+    bool paused = a.units.size() ==
+                  static_cast<std::size_t>(a.spec->task_count());
+    for (const UnitRun& u : a.units) {
+      paused &= (u.state == UnitState::kPending ||
+                 u.state == UnitState::kFinished) &&
+                !u.item_in_flight;
+    }
+    if (!paused) continue;
+    MigratedApp m = migrated_descriptor(a);
+    int upstream_done = a.batch;
+    for (std::size_t i = 0; i < a.units.size(); ++i) {
+      const UnitRun& u = a.units[i];
+      m.progress.push_back(u.items_done);
+      // Intermediate buffers waiting between stage i-1 and i travel too.
+      std::int64_t queued_items = upstream_done - u.items_done;
+      m.state_bytes += queued_items * u.spec.item_bytes_in;
+      upstream_done = u.items_done;
+    }
+    out.push_back(std::move(m));
+    a.spec = nullptr;  // tombstone: extracted
+  }
+  return out;
+}
+
+void BoardRuntime::kick() {
+  if (pass_queued_) return;
+  pass_queued_ = true;
+  sim::Core& core = board_.scheduler_core();
+  // Single-core designs: if the scheduler core is currently suspended by a
+  // PCAP load, this pass (and the launches it would perform) is blocked —
+  // the paper's task-execution-blocking problem.
+  if (!dual_core_ && core.busy() &&
+      core.current_label().rfind("pcap:", 0) == 0) {
+    ++counters_.launch_blocked;
+    ++window_blocked_;
+  }
+  core.submit(
+      board_.params().sched_pass_cost, [this] { run_pass(); }, "pass");
+}
+
+void BoardRuntime::run_pass() {
+  pass_queued_ = false;
+  ++counters_.passes;
+  policy_.on_pass(*this);
+  try_launches();
+}
+
+void BoardRuntime::try_launches() {
+  for (AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done()) continue;
+    for (UnitRun& u : a.units) {
+      if (u.state != UnitState::kRunning || u.item_in_flight) continue;
+      if (u.items_done >= a.batch) continue;
+      int idx = static_cast<int>(&u - a.units.data());
+      if (!item_ready(a, idx)) {
+        // A streamed first stage blocked only on source availability needs
+        // a wake-up at the next item's arrival (nothing else would kick).
+        if (idx == 0 && a.item_interval > 0) {
+          sim::SimTime next =
+              a.arrival + a.item_interval *
+                              static_cast<sim::SimDuration>(u.items_done);
+          if (next > sim().now() &&
+              (a.stream_kick < 0 || a.stream_kick < sim().now())) {
+            a.stream_kick = next;
+            int app_id = a.id;
+            sim().schedule_at(next, [this, app_id] {
+              app(app_id).stream_kick = -1;
+              kick();
+            });
+          }
+        }
+        continue;
+      }
+      launch_item(a, u);
+    }
+  }
+}
+
+void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
+  unit_ref.item_in_flight = true;
+  int app_id = app_ref.id;
+  int unit_index = static_cast<int>(&unit_ref - app_ref.units.data());
+  int item = unit_ref.items_done;
+  // Launch: scheduler-core op (buffer setup, DMA kick) ...
+  board_.scheduler_core().submit(
+      board_.params().launch_op_cost,
+      [this, app_id, unit_index, item] {
+        AppRun& a = app(app_id);
+        UnitRun& u = a.units[static_cast<std::size_t>(unit_index)];
+        // ... then the input DMA ...
+        board_.dma().transfer(u.spec.item_bytes_in, [this, app_id, unit_index,
+                                                     item] {
+          AppRun& a2 = app(app_id);
+          UnitRun& u2 = a2.units[static_cast<std::size_t>(unit_index)];
+          // ... then execution in the slot.
+          touch_utilization();
+          if (u2.slot >= 0) board_.slot(u2.slot).begin_exec();
+          sim::SimDuration d = u2.spec.item_latency +
+                               (item == 0 ? u2.spec.fill_latency : 0);
+          sim::SimTime started = sim().now();
+          sim().schedule(d, [this, app_id, unit_index, started, item] {
+            AppRun& a3 = app(app_id);
+            UnitRun& u3 = a3.units[static_cast<std::size_t>(unit_index)];
+            trace_.add(started, sim().now(),
+                       u3.slot >= 0 ? board_.slot(u3.slot).name() : "fabric",
+                       a3.spec->name + "#" + std::to_string(app_id) + ".u" +
+                           std::to_string(unit_index) + " B" +
+                           std::to_string(item + 1),
+                       sim::SpanKind::kExec);
+            finish_item(app_id, unit_index);
+          });
+        });
+      },
+      "launch");
+}
+
+void BoardRuntime::finish_item(int app_id, int unit_index) {
+  AppRun& a = app(app_id);
+  UnitRun& u = a.units[static_cast<std::size_t>(unit_index)];
+  touch_utilization();
+  if (u.slot >= 0) board_.slot(u.slot).finish_exec();
+  u.item_in_flight = false;
+  ++u.items_done;
+  ++counters_.items_executed;
+  if (u.items_done >= a.batch) finish_unit(u);
+  check_app_complete(a);
+  kick();
+}
+
+void BoardRuntime::finish_unit(UnitRun& unit) {
+  touch_utilization();
+  unit.state = UnitState::kFinished;
+  if (unit.slot >= 0) {
+    board_.slot(unit.slot).release();
+  }
+  unit.slot = -1;
+}
+
+void BoardRuntime::check_app_complete(AppRun& a) {
+  if (a.done()) return;
+  for (const UnitRun& u : a.units) {
+    if (u.state != UnitState::kFinished) return;
+  }
+  a.completed = sim().now();
+  ++counters_.apps_completed;
+  if (full_fabric_app_ == a.id) {
+    touch_utilization();
+    full_fabric_app_ = -1;
+  }
+  CompletedApp c{a.id, a.spec_index, a.spec->name, a.arrival, a.completed};
+  completed_.push_back(c);
+  VS_DEBUG << board_.name() << ": " << c.name << "#" << a.id
+           << " complete, response " << c.response_ms() << " ms";
+  if (on_app_complete_) on_app_complete_(c);
+}
+
+void BoardRuntime::touch_utilization() {
+  sim::SimTime now = sim().now();
+  auto dt = static_cast<double>(now - last_util_touch_);
+  last_util_touch_ = now;
+  if (dt <= 0) return;
+
+  fpga::ResourceVector used;
+  for (const AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done()) continue;
+    for (const UnitRun& u : a.units) {
+      if (u.state == UnitState::kRunning) used += u.spec.impl_usage;
+    }
+  }
+  fpga::ResourceVector occupied;
+  if (full_fabric_app_ >= 0) {
+    occupied = reconfigurable_capacity(board_.fabric(), board_.params());
+  } else {
+    for (const fpga::Slot& s : board_.slots()) {
+      if (s.state() != fpga::SlotState::kIdle) occupied += s.capacity();
+    }
+  }
+  fpga::ResourceVector fabric =
+      reconfigurable_capacity(board_.fabric(), board_.params());
+
+  util_.lut_used += dt * static_cast<double>(used.luts);
+  util_.ff_used += dt * static_cast<double>(used.ffs);
+  util_.lut_capacity += dt * static_cast<double>(occupied.luts);
+  util_.ff_capacity += dt * static_cast<double>(occupied.ffs);
+  util_.lut_fabric += dt * static_cast<double>(fabric.luts);
+  util_.ff_fabric += dt * static_cast<double>(fabric.ffs);
+}
+
+}  // namespace vs::runtime

@@ -1,0 +1,303 @@
+// BoardRuntime: the execution engine for one FPGA board.
+//
+// Owns application runtime state and drives the board hardware models:
+// scheduler passes and batch launches run as operations on the scheduler
+// core, PR loads go through the SD card + PCAP (suspending the issuing
+// core), batch items execute in slots with item-wise pipeline dependencies
+// between a pipeline's units. All policy decision logic is delegated to a
+// SchedulerPolicy; all blocked-time accounting needed by the D_switch metric
+// is collected here.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/bundling.h"
+#include "apps/task.h"
+#include "fpga/board.h"
+#include "runtime/policy.h"
+#include "sim/trace.h"
+
+namespace vs::runtime {
+
+/// Packs a unit's identity into the bitstream-store key. DFX partial
+/// bitstreams are placement-specific — the offline flow generates one per
+/// (application, task range, mode, *target slot*), "adaptive to each slot"
+/// (§III-A) — so the key includes the concrete slot id: a task that has
+/// been loaded into L2 before still pays the SD fetch the first time it
+/// lands in L5. Shared with the cluster layer for SD-cache pre-warming.
+[[nodiscard]] fpga::BitstreamKey unit_bitstream_key(
+    int spec_index, const apps::UnitSpec& unit, int slot_id) noexcept;
+
+enum class UnitState : std::uint8_t {
+  kPending,        ///< not placed in a slot
+  kReconfiguring,  ///< PR in flight
+  kRunning,        ///< configured in a slot (possibly executing an item)
+  kFinished,       ///< all batch items done
+};
+
+struct UnitRun {
+  apps::UnitSpec spec;
+  UnitState state = UnitState::kPending;
+  int slot = -1;               ///< slot id; -2 = full-fabric (baseline)
+  int items_done = 0;
+  bool item_in_flight = false;
+  bool pr_was_blocked = false; ///< this unit's last PR waited in the PCAP FIFO
+};
+
+struct AppRun {
+  int id = -1;
+  const apps::AppSpec* spec = nullptr;
+  int spec_index = -1;
+  sim::SimTime arrival = 0;   ///< cluster arrival (response time base)
+  sim::SimTime admitted = 0;  ///< when this board received the app
+  int batch = 1;
+  sim::SimDuration item_interval = 0;  ///< streaming source period (0 = staged)
+  std::vector<UnitRun> units;
+  bool started = false;       ///< any PR ever issued for it
+  sim::SimTime completed = -1;
+  sim::SimTime stream_kick = -1;  ///< pending wake-up for streamed items
+
+  [[nodiscard]] bool done() const noexcept { return completed >= 0; }
+
+  /// Items of the first pipeline stage available from the source by `now`.
+  [[nodiscard]] int items_available(sim::SimTime now) const noexcept {
+    if (item_interval <= 0) return batch;
+    if (now < arrival) return 0;
+    auto streamed =
+        static_cast<std::int64_t>((now - arrival) / item_interval) + 1;
+    return static_cast<int>(
+        std::min<std::int64_t>(streamed, batch));
+  }
+  [[nodiscard]] int units_finished() const noexcept {
+    int n = 0;
+    for (const UnitRun& u : units) n += (u.state == UnitState::kFinished);
+    return n;
+  }
+  /// Unfinished units (the N_T of Algorithm 1).
+  [[nodiscard]] int units_unfinished() const noexcept {
+    return static_cast<int>(units.size()) - units_finished();
+  }
+  /// Units currently holding a slot (reconfiguring or running).
+  [[nodiscard]] int units_placed() const noexcept {
+    int n = 0;
+    for (const UnitRun& u : units) {
+      n += (u.state == UnitState::kReconfiguring ||
+            u.state == UnitState::kRunning);
+    }
+    return n;
+  }
+};
+
+struct RuntimeCounters {
+  std::int64_t pr_requests = 0;
+  std::int64_t pr_blocked = 0;       ///< PRs that waited behind another PR
+  std::int64_t launch_blocked = 0;   ///< passes delayed by a PR on the core
+  std::int64_t items_executed = 0;
+  std::int64_t apps_completed = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t passes = 0;
+};
+
+/// Time-integrated fabric utilisation (numerators in resource·ns).
+struct UtilizationIntegral {
+  double lut_used = 0, ff_used = 0;
+  double lut_capacity = 0, ff_capacity = 0;  ///< occupied slots only
+  double lut_fabric = 0, ff_fabric = 0;      ///< whole reconfigurable fabric
+
+  [[nodiscard]] double lut_of_occupied() const {
+    return lut_capacity > 0 ? lut_used / lut_capacity : 0.0;
+  }
+  [[nodiscard]] double ff_of_occupied() const {
+    return ff_capacity > 0 ? ff_used / ff_capacity : 0.0;
+  }
+  [[nodiscard]] double lut_of_fabric() const {
+    return lut_fabric > 0 ? lut_used / lut_fabric : 0.0;
+  }
+  [[nodiscard]] double ff_of_fabric() const {
+    return ff_fabric > 0 ? ff_used / ff_fabric : 0.0;
+  }
+};
+
+struct CompletedApp {
+  int app_id;
+  int spec_index;
+  std::string name;
+  sim::SimTime arrival;
+  sim::SimTime completed;
+  [[nodiscard]] double response_ms() const {
+    return sim::to_ms(completed - arrival);
+  }
+};
+
+class BoardRuntime {
+ public:
+  BoardRuntime(fpga::Board& board, SchedulerPolicy& policy);
+
+  BoardRuntime(const BoardRuntime&) = delete;
+  BoardRuntime& operator=(const BoardRuntime&) = delete;
+
+  // ---------------------------------------------------------------- admission
+  /// Admits an application instance; returns its runtime id. Units default
+  /// to the Little (per-task) decomposition; policies re-unitise via
+  /// set_units before the first PR. A non-zero `item_interval` makes the
+  /// batch *streaming*: item i only becomes available at
+  /// arrival + i * item_interval (dynamic batch processing, §III-A).
+  int submit(const apps::AppSpec& spec, int spec_index, int batch,
+             sim::SimTime arrival, sim::SimDuration item_interval = 0);
+
+  /// Admits an application that already made progress elsewhere (live
+  /// migration target side): `items_done` carries per-task completed item
+  /// counts (monotone non-increasing along the pipeline). The app arrives
+  /// marked as started, with its per-task Little units pre-advanced —
+  /// fully-done tasks are Finished — so execution resumes exactly where the
+  /// origin board paused it.
+  int submit_with_progress(const apps::AppSpec& spec, int spec_index,
+                           int batch, sim::SimTime arrival,
+                           const std::vector<int>& items_done,
+                           sim::SimDuration item_interval = 0);
+
+  /// Stops accepting new apps (migration origin drain).
+  void stop_admission() noexcept { admission_open_ = false; }
+  [[nodiscard]] bool admission_open() const noexcept {
+    return admission_open_;
+  }
+
+  // ------------------------------------------------------- policy commands
+  /// Replaces an app's unit decomposition (bundling / rebinding). Only legal
+  /// before the app has started.
+  void set_units(int app_id, std::vector<apps::UnitSpec> units);
+
+  /// Requests partial reconfiguration of a pending unit into an idle slot of
+  /// the matching kind. Asynchronous: the PR server (or the scheduler core
+  /// in single-core mode) performs SD fetch + PCAP load.
+  void request_pr(int app_id, int unit_index, int slot_id);
+
+  /// Full-fabric reconfiguration for the exclusive baseline: loads the
+  /// app's monolithic bitstream, after which every unit runs concurrently
+  /// without slot constraints. Requires the fabric to be otherwise empty.
+  void request_full_reconfig(int app_id);
+
+  /// Preempts a unit that is configured but not mid-item: releases its slot
+  /// and returns it to Pending. Completed items are preserved (buffers stay
+  /// in DDR).
+  void preempt_unit(int app_id, int unit_index);
+
+  // ---------------------------------------------------------------- queries
+  [[nodiscard]] fpga::Board& board() noexcept { return board_; }
+  [[nodiscard]] const fpga::Board& board() const noexcept { return board_; }
+  [[nodiscard]] sim::SimTime sim_now() const noexcept {
+    return board_.sim().now();
+  }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return board_.sim(); }
+  [[nodiscard]] const std::vector<AppRun>& apps() const noexcept {
+    return apps_;
+  }
+  [[nodiscard]] AppRun& app(int id) {
+    return apps_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const AppRun& app(int id) const {
+    return apps_.at(static_cast<std::size_t>(id));
+  }
+
+  [[nodiscard]] std::vector<int> idle_slots(fpga::SlotKind kind) const;
+  [[nodiscard]] int count_idle_slots(fpga::SlotKind kind) const;
+
+  /// Placement hint: among idle `candidates`, returns the one whose
+  /// placement-specific bitstream for (app, unit) is already staged in DDR
+  /// (skipping the SD fetch), or the first candidate when none is. All
+  /// policies route slot choices through this — the PR server knows its
+  /// cache either way.
+  [[nodiscard]] int choose_slot(int app_id, int unit_index,
+                                const std::vector<int>& candidates) const;
+
+  /// True when the next item of `unit` has its upstream dependency
+  /// satisfied (unit 0 is always ready until the batch is exhausted).
+  [[nodiscard]] bool item_ready(const AppRun& app, int unit_index) const;
+
+  /// Apps not yet complete.
+  [[nodiscard]] int active_apps() const noexcept;
+  [[nodiscard]] bool drained() const noexcept { return active_apps() == 0; }
+
+  [[nodiscard]] const RuntimeCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const UtilizationIntegral& utilization() const noexcept {
+    return util_;
+  }
+  [[nodiscard]] const std::vector<CompletedApp>& completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] sim::TraceRecorder& trace() noexcept { return trace_; }
+
+  /// Blocked-event count since the last D_switch sampling window reset.
+  [[nodiscard]] std::int64_t window_blocked() const noexcept {
+    return window_blocked_;
+  }
+  void reset_window() noexcept { window_blocked_ = 0; }
+
+  /// Hook invoked on every app completion (cluster layer: D_switch
+  /// recalculation cadence).
+  void set_on_app_complete(std::function<void(const CompletedApp&)> fn) {
+    on_app_complete_ = std::move(fn);
+  }
+
+  // ------------------------------------------------------------- migration
+  /// Removes and returns apps that have not started executing (the paper's
+  /// "applications and tasks in the ready list"); they migrate to another
+  /// board. Their buffers' byte volume is returned for transfer costing.
+  struct MigratedApp {
+    int spec_index;
+    int batch;
+    sim::SimTime arrival;
+    sim::SimDuration item_interval;  ///< streaming source period (0 = staged)
+    std::int64_t state_bytes;
+    /// Per-task completed item counts; empty when the app never started.
+    std::vector<int> progress;
+  };
+  [[nodiscard]] std::vector<MigratedApp> extract_unstarted();
+
+  /// Live-migration extraction: unstarted apps plus *paused* started apps —
+  /// apps whose units are all between executions (none placed in a slot,
+  /// none mid-item) and which still run per-task Little units. Those carry
+  /// their per-task progress and intermediate buffers ("tasks in the ready
+  /// list, along with their buffers", §III-D). Apps with units currently
+  /// configured or executing stay and drain on the origin.
+  [[nodiscard]] std::vector<MigratedApp> extract_migratable();
+
+  // -------------------------------------------------------------- scheduling
+  /// Requests a scheduling pass. Passes are collapsed: at most one queued at
+  /// a time. The pass runs as an op on the scheduler core, then invokes the
+  /// policy, then performs ready-item launches.
+  void kick();
+
+ private:
+  void run_pass();
+  void try_launches();
+  void launch_item(AppRun& app, UnitRun& unit);
+  void finish_item(int app_id, int unit_index);
+  void finish_unit(UnitRun& unit);
+  void check_app_complete(AppRun& app);
+  void touch_utilization();
+
+  fpga::Board& board_;
+  SchedulerPolicy& policy_;
+  bool dual_core_;
+  std::vector<AppRun> apps_;
+  RuntimeCounters counters_;
+  UtilizationIntegral util_;
+  std::vector<CompletedApp> completed_;
+  sim::TraceRecorder trace_;
+  std::function<void(const CompletedApp&)> on_app_complete_;
+  bool pass_queued_ = false;
+  bool admission_open_ = true;
+  int full_fabric_app_ = -1;  ///< baseline: app owning the whole fabric
+  std::int64_t window_blocked_ = 0;
+  sim::SimTime last_util_touch_ = 0;
+};
+
+}  // namespace vs::runtime

@@ -1,0 +1,28 @@
+// Global-state invariant auditing for the BoardRuntime.
+//
+// The runtime's correctness rests on cross-object consistency that no
+// single class can assert locally: every non-idle slot must be accounted
+// to exactly one live unit and vice versa, item progress must respect
+// pipeline order, and counters must be mutually consistent. The audit
+// walks the entire runtime state and reports every violation; tests and
+// debugging sessions call it at arbitrary points (it is side-effect free).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/board_runtime.h"
+
+namespace vs::runtime {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audits all invariants; see implementation for the complete list.
+[[nodiscard]] InvariantReport audit(const BoardRuntime& rt);
+
+}  // namespace vs::runtime

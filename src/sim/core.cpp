@@ -1,0 +1,42 @@
+#include "sim/core.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vs::sim {
+
+Core::Core(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void Core::submit(SimDuration duration, EventFn on_done, std::string label) {
+  assert(duration >= 0);
+  queue_.push_back(Op{duration, std::move(on_done), std::move(label)});
+  if (!busy_) start_next();
+}
+
+SimTime Core::available_at() const noexcept {
+  if (!busy_) return sim_.now();
+  SimTime t = current_end_;
+  for (const Op& op : queue_) t += op.duration;
+  return t;
+}
+
+void Core::start_next() {
+  assert(!busy_ && !queue_.empty());
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  current_label_ = op.label;
+  current_end_ = sim_.now() + op.duration;
+  busy_time_ += op.duration;
+  sim_.schedule(op.duration, [this, done = std::move(op.on_done)]() mutable {
+    busy_ = false;
+    current_label_.clear();
+    if (done) done();
+    // The completion callback may have submitted more work and restarted the
+    // core already; only pull the next op if still idle.
+    if (!busy_ && !queue_.empty()) start_next();
+  });
+}
+
+}  // namespace vs::sim

@@ -1,0 +1,67 @@
+// Serially-busy CPU core model.
+//
+// The VersaSlot hypervisor runs bare-metal on ARM cores; the paper's central
+// single-core vs dual-core distinction is about which core a PCAP load
+// suspends. We model a core as a FIFO work queue: submitted operations run
+// one at a time for their stated duration, and the completion callback fires
+// when the operation finishes. A PR that "suspends the CPU" is simply a long
+// operation submitted to that core — everything queued behind it waits,
+// which is exactly the task-execution-blocking effect of Fig 2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace vs::sim {
+
+class Core {
+ public:
+  Core(Simulator& sim, std::string name);
+
+  /// Enqueues an operation taking `duration` core time; `on_done` fires when
+  /// it completes. Returns immediately. Operations run in submission order.
+  void submit(SimDuration duration, EventFn on_done,
+              std::string label = {});
+
+  /// True if an operation is executing right now.
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+  /// Number of operations waiting (not counting the one executing).
+  [[nodiscard]] std::size_t backlog() const noexcept { return queue_.size(); }
+
+  /// Earliest time a newly submitted op could start (now if idle).
+  [[nodiscard]] SimTime available_at() const noexcept;
+
+  /// Total time this core has spent executing operations.
+  [[nodiscard]] SimDuration busy_time() const noexcept { return busy_time_; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Label of the currently executing operation (empty when idle).
+  [[nodiscard]] const std::string& current_label() const noexcept {
+    return current_label_;
+  }
+
+ private:
+  struct Op {
+    SimDuration duration;
+    EventFn on_done;
+    std::string label;
+  };
+
+  void start_next();
+
+  Simulator& sim_;
+  std::string name_;
+  std::deque<Op> queue_;
+  bool busy_ = false;
+  SimTime current_end_ = 0;
+  std::string current_label_;
+  SimDuration busy_time_ = 0;
+};
+
+}  // namespace vs::sim

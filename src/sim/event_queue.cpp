@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vs::sim {
+
+EventId EventQueue::schedule(SimTime when, EventFn fn) {
+  EventId id = next_id_++;
+  cancelled_.push_back(false);
+  heap_.push(Entry{when, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id < cancelled_.size() && !cancelled_[id]) {
+    cancelled_[id] = true;
+    if (live_ > 0) --live_;
+  }
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    // const_cast is confined here: popping dead entries does not change the
+    // observable state of the queue.
+    const_cast<EventQueue*>(this)->heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() returns const&; we need to move the closure out.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.fn)};
+  heap_.pop();
+  --live_;
+  return out;
+}
+
+}  // namespace vs::sim

@@ -1,0 +1,64 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap keyed on (time, sequence). The monotonically increasing
+// sequence number guarantees FIFO order among events scheduled for the same
+// instant, which makes simulations fully deterministic regardless of heap
+// internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vs::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Returns an id usable with
+  /// cancel(). Events at equal times fire in scheduling order.
+  EventId schedule(SimTime when, EventFn fn);
+
+  /// Lazily cancels a pending event: the entry stays in the heap but is
+  /// skipped when popped. O(1).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<bool> cancelled_;  // indexed by EventId
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace vs::sim

@@ -1,0 +1,51 @@
+// The discrete-event simulator: a clock plus the pending-event set.
+//
+// All FPGA-board, scheduler and cluster behaviour in this repository is
+// expressed as events against one Simulator instance. Single-threaded by
+// design: determinism is a core requirement (identical seed => identical
+// result), and the workloads simulate in milliseconds of wall time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace vs::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now (delay >= 0).
+  EventId schedule(SimDuration delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  EventId schedule_at(SimTime when, EventFn fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the event set drains or `until` is passed (events strictly
+  /// after `until` stay pending). Returns the number of events executed.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Executes exactly one event if present. Returns false when drained.
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vs::sim

@@ -1,0 +1,84 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace vs::sim {
+
+namespace {
+
+const char* category(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kReconfig: return "reconfig";
+    case SpanKind::kExec: return "exec";
+    case SpanKind::kCoreOp: return "core";
+    case SpanKind::kBlocked: return "blocked";
+    case SpanKind::kTransfer: return "transfer";
+    case SpanKind::kMarker: return "marker";
+  }
+  return "other";
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<Span>& spans, std::ostream& os) {
+  // Assign a stable tid per lane in order of first appearance.
+  std::map<std::string, int> lane_tid;
+  int next_tid = 1;
+  for (const Span& s : spans) {
+    if (!lane_tid.count(s.lane)) lane_tid[s.lane] = next_tid++;
+  }
+
+  os << "[";
+  bool first = true;
+  // Thread-name metadata so the viewer labels rows with lane names.
+  for (const auto& [lane, tid] : lane_tid) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"";
+    json_escape(os, lane);
+    os << "\"}}";
+  }
+  for (const Span& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    double ts_us = static_cast<double>(s.start) / 1e3;
+    double dur_us = static_cast<double>(s.end - s.start) / 1e3;
+    os << "\n{\"name\":\"";
+    json_escape(os, s.label);
+    os << "\",\"cat\":\"" << category(s.kind)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << lane_tid[s.lane]
+       << ",\"ts\":" << ts_us << ",\"dur\":" << dur_us << "}";
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace_file(const std::vector<Span>& spans,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  write_chrome_trace(spans, out);
+}
+
+}  // namespace vs::sim

@@ -1,0 +1,24 @@
+// Chrome trace-event export: renders a TraceRecorder span log as the JSON
+// array format consumed by chrome://tracing, Perfetto and speedscope.
+// Lanes become thread rows; span kinds map to category colours, so a full
+// scheduling run can be inspected interactively.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace vs::sim {
+
+/// Writes the spans as Chrome trace-event JSON ("X" complete events, one
+/// per span, microsecond timestamps). Lane order follows first appearance.
+void write_chrome_trace(const std::vector<Span>& spans, std::ostream& os);
+
+/// Convenience: writes to a file. Throws std::runtime_error when the file
+/// cannot be opened.
+void write_chrome_trace_file(const std::vector<Span>& spans,
+                             const std::string& path);
+
+}  // namespace vs::sim

@@ -1,0 +1,44 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace vs::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::function<std::int64_t()> g_time_source;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel Log::level() noexcept { return g_level; }
+
+void Log::set_time_source(std::function<std::int64_t()> source) {
+  std::lock_guard lock(g_mutex);
+  g_time_source = std::move(source);
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_mutex);
+  if (g_time_source) {
+    double ms = static_cast<double>(g_time_source()) / 1e6;
+    std::fprintf(stderr, "[%s] [t=%.3fms] %s\n", level_name(level), ms,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace vs::util

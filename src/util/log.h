@@ -1,0 +1,61 @@
+// Lightweight leveled logger. Simulation components log with a sim-time
+// prefix supplied by the active Simulator (set via set_time_source).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vs::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration. Default level is kWarn so simulations stay
+/// quiet in tests and benches; examples raise it to kInfo.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Installs a callback returning the current simulation time in ns, used
+  /// to prefix messages. Pass nullptr to clear.
+  static void set_time_source(std::function<std::int64_t()> source);
+
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace vs::util
+
+#define VS_LOG_AT(lvl)                            \
+  if (static_cast<int>(lvl) <                     \
+      static_cast<int>(::vs::util::Log::level())) \
+    ;                                             \
+  else                                            \
+    ::vs::util::detail::LogLine(lvl)
+
+#define VS_TRACE VS_LOG_AT(::vs::util::LogLevel::kTrace)
+#define VS_DEBUG VS_LOG_AT(::vs::util::LogLevel::kDebug)
+#define VS_INFO VS_LOG_AT(::vs::util::LogLevel::kInfo)
+#define VS_WARN VS_LOG_AT(::vs::util::LogLevel::kWarn)
+#define VS_ERROR VS_LOG_AT(::vs::util::LogLevel::kError)

@@ -1,0 +1,105 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Results produced by the simulator must be bit-identical across platforms
+// and standard-library implementations, so we avoid std::uniform_*
+// distributions (whose algorithms are unspecified) and implement PCG32
+// streams seeded through SplitMix64. Every stochastic component of the
+// system draws from its own named stream derived from a single master seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vs::util {
+
+/// SplitMix64 step: used for seed derivation only.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stable 64-bit FNV-1a hash of a label, for deriving named sub-streams.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// PCG32 (XSH-RR variant): small, fast, statistically solid, and fully
+/// specified so sequences are reproducible everywhere.
+class Rng {
+ public:
+  Rng() noexcept : Rng(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+
+  /// Seeds the generator; `stream` selects one of 2^63 independent sequences.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 1) noexcept {
+    inc_ = (stream << 1u) | 1u;
+    state_ = 0;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Derives an independent child stream identified by a label. Children of
+  /// the same parent with distinct labels never share a sequence.
+  [[nodiscard]] Rng fork(std::string_view label) const noexcept {
+    std::uint64_t s = state_ ^ fnv1a(label);
+    return Rng{splitmix64(s), fnv1a(label) | 1u};
+  }
+
+  std::uint32_t next_u32() noexcept {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() noexcept {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses Lemire rejection to avoid
+  /// modulo bias. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+      std::uint64_t threshold = (0 - range) % range;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * range;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace vs::util

@@ -1,0 +1,64 @@
+#include "workload/generator.h"
+
+#include <cassert>
+
+namespace vs::workload {
+
+const char* congestion_name(Congestion c) noexcept {
+  switch (c) {
+    case Congestion::kLoose: return "Loose";
+    case Congestion::kStandard: return "Standard";
+    case Congestion::kStress: return "Stress";
+    case Congestion::kRealtime: return "Real-time";
+  }
+  return "?";
+}
+
+sim::SimDuration draw_interval(Congestion c, util::Rng& rng) {
+  switch (c) {
+    case Congestion::kLoose:
+      return sim::ms(5000.0);
+    case Congestion::kStandard:
+      return sim::ms(static_cast<double>(rng.uniform_int(1500, 2000)));
+    case Congestion::kStress:
+      return sim::ms(static_cast<double>(rng.uniform_int(150, 200)));
+    case Congestion::kRealtime:
+      return sim::ms(50.0);
+  }
+  return sim::ms(1000.0);
+}
+
+Sequence generate_sequence(const WorkloadConfig& config, util::Rng& rng) {
+  assert(config.apps_per_sequence >= 1);
+  assert(config.min_batch >= 1 && config.min_batch <= config.max_batch);
+  assert(config.suite_size >= 1);
+  Sequence seq;
+  seq.reserve(static_cast<std::size_t>(config.apps_per_sequence));
+  sim::SimTime t = 0;
+  for (int i = 0; i < config.apps_per_sequence; ++i) {
+    apps::AppArrival a;
+    a.spec_index =
+        static_cast<int>(rng.uniform_int(0, config.suite_size - 1));
+    a.batch = static_cast<int>(
+        rng.uniform_int(config.min_batch, config.max_batch));
+    a.arrival = t;
+    seq.push_back(a);
+    t += draw_interval(config.congestion, rng);
+  }
+  return seq;
+}
+
+std::vector<Sequence> generate_sequences(const WorkloadConfig& config,
+                                         int count,
+                                         std::uint64_t master_seed) {
+  std::vector<Sequence> out;
+  out.reserve(static_cast<std::size_t>(count));
+  util::Rng master(master_seed);
+  for (int i = 0; i < count; ++i) {
+    util::Rng stream = master.fork("sequence-" + std::to_string(i));
+    out.push_back(generate_sequence(config, stream));
+  }
+  return out;
+}
+
+}  // namespace vs::workload

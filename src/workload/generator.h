@@ -1,0 +1,48 @@
+// Workload generation matching the paper's evaluation setup (§IV):
+// randomly generated application sequences (10 sequences × 20 apps for
+// Figs 5/6; 3 × 80 apps for Fig 8) with random batch sizes in [5, 30] and
+// one of four arrival-interval regimes:
+//   Loose      5000 ms fixed
+//   Standard   uniform 1500–2000 ms
+//   Stress     uniform 150–200 ms
+//   Real-time  50 ms fixed
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/task.h"
+#include "util/rng.h"
+
+namespace vs::workload {
+
+enum class Congestion { kLoose = 0, kStandard = 1, kStress = 2, kRealtime = 3 };
+
+constexpr int kCongestionCount = 4;
+
+[[nodiscard]] const char* congestion_name(Congestion c) noexcept;
+
+struct WorkloadConfig {
+  Congestion congestion = Congestion::kStandard;
+  int apps_per_sequence = 20;
+  int min_batch = 5;
+  int max_batch = 30;
+  int suite_size = 5;  ///< number of distinct application specs to draw from
+};
+
+/// One generated sequence: arrivals sorted by time.
+using Sequence = std::vector<apps::AppArrival>;
+
+/// Generates a single sequence. Deterministic in (config, rng state).
+[[nodiscard]] Sequence generate_sequence(const WorkloadConfig& config,
+                                         util::Rng& rng);
+
+/// Generates `count` sequences from a master seed, each with an
+/// independent derived stream (so sequences do not correlate).
+[[nodiscard]] std::vector<Sequence> generate_sequences(
+    const WorkloadConfig& config, int count, std::uint64_t master_seed);
+
+/// Arrival interval draw for a congestion regime, in nanoseconds.
+[[nodiscard]] sim::SimDuration draw_interval(Congestion c, util::Rng& rng);
+
+}  // namespace vs::workload

@@ -1,0 +1,262 @@
+// Tests for the comparison scheduling policies: exclusive baseline, naive
+// FCFS, round-robin, and Nimblock (priority + preemption + adaptive
+// allocation, single-core).
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "baselines/baseline_exclusive.h"
+#include "baselines/fcfs.h"
+#include "baselines/nimblock.h"
+#include "baselines/policy_common.h"
+#include "baselines/round_robin.h"
+#include "fpga/board.h"
+#include "runtime/board_runtime.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+
+namespace vs::baselines {
+namespace {
+
+using runtime::BoardRuntime;
+using test::make_uniform_app;
+
+struct Fixture {
+  sim::Simulator sim;
+  fpga::Board board;
+  Fixture() : board(sim, "b0", fpga::FabricConfig::only_little()) {}
+};
+
+// ------------------------------------------------------- BaselineExclusive
+
+TEST(BaselineExclusive, RunsAppsOneAtATime) {
+  Fixture f;
+  BaselineExclusivePolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 2, sim::ms(5));
+  rt.submit(app, 0, 2, 0);
+  rt.submit(app, 0, 2, 0);
+  // While the first app is live, the second must not have started.
+  bool overlap = false;
+  bool observed = false;
+  for (int i = 0; i < 200000 && f.sim.step(); ++i) {
+    const auto& apps = rt.apps();
+    if (apps.size() == 2) {
+      bool first_live = apps[0].started && !apps[0].done();
+      if (first_live && apps[1].started) overlap = true;
+      if (first_live) observed = true;
+    }
+  }
+  EXPECT_TRUE(observed);
+  EXPECT_FALSE(overlap);
+  EXPECT_EQ(rt.completed().size(), 2u);
+  EXPECT_EQ(rt.counters().pr_requests, 2);  // one full reconfig each
+}
+
+TEST(BaselineExclusive, FullReconfigDominatesResponse) {
+  Fixture f;
+  BaselineExclusivePolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 2, sim::ms(1));
+  rt.submit(app, 0, 1, 0);
+  f.sim.run();
+  const fpga::BoardParams& p = f.board.params();
+  ASSERT_EQ(rt.completed().size(), 1u);
+  EXPECT_GT(rt.completed()[0].response_ms(),
+            sim::to_ms(p.pcap_load_time(p.full_bitstream_bytes) +
+                       p.full_reconfig_restart));
+}
+
+// -------------------------------------------------------------------- FCFS
+
+TEST(Fcfs, OneSlotPerApp) {
+  Fixture f;
+  FcfsPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 4, sim::ms(2));
+  int id = rt.submit(app, 0, 3, 0);
+  // At no point may the app hold more than one slot.
+  int max_placed = 0;
+  while (f.sim.step()) {
+    max_placed = std::max(max_placed, rt.app(id).units_placed());
+  }
+  EXPECT_EQ(max_placed, 1);
+  EXPECT_TRUE(rt.app(id).done());
+  EXPECT_EQ(rt.counters().pr_requests, 4);  // each task swapped in once
+}
+
+TEST(Fcfs, ServesArrivalOrder) {
+  Fixture f;
+  FcfsPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 1, sim::ms(50));
+  // 10 apps, 8 slots: the last two wait; earlier arrivals start first.
+  for (int i = 0; i < 10; ++i) rt.submit(app, 0, 2, 0);
+  f.sim.run(sim::ms(50));
+  int started = 0;
+  for (const auto& a : rt.apps()) started += a.started;
+  EXPECT_EQ(started, 8);
+  EXPECT_FALSE(rt.app(8).started);
+  EXPECT_FALSE(rt.app(9).started);
+  f.sim.run();
+  EXPECT_EQ(rt.completed().size(), 10u);
+}
+
+TEST(Fcfs, AllAppsComplete) {
+  Fixture f;
+  FcfsPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  auto suite = apps::make_suite(f.board.params());
+  for (int i = 0; i < 5; ++i) {
+    rt.submit(suite[static_cast<std::size_t>(i)], i, 3, 0);
+  }
+  f.sim.run();
+  EXPECT_EQ(rt.completed().size(), 5u);
+}
+
+// -------------------------------------------------------------- RoundRobin
+
+TEST(RoundRobin, RotatesGrants) {
+  Fixture f;
+  RoundRobinPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 2, sim::ms(2));
+  for (int i = 0; i < 12; ++i) rt.submit(app, 0, 2, 0);
+  f.sim.run();
+  EXPECT_EQ(rt.completed().size(), 12u);
+}
+
+TEST(RoundRobin, OneSlotPerApp) {
+  Fixture f;
+  RoundRobinPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 3, sim::ms(2));
+  int id = rt.submit(app, 0, 2, 0);
+  int max_placed = 0;
+  while (f.sim.step()) {
+    max_placed = std::max(max_placed, rt.app(id).units_placed());
+  }
+  EXPECT_EQ(max_placed, 1);
+}
+
+// ---------------------------------------------------------------- Nimblock
+
+TEST(Nimblock, SingleCoreFlag) {
+  NimblockPolicy policy;
+  EXPECT_FALSE(policy.dual_core());
+  EXPECT_STREQ(policy.name(), "Nimblock");
+}
+
+TEST(Nimblock, UsesMultipleSlotsPerApp) {
+  Fixture f;
+  NimblockPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 6, sim::ms(5));
+  int id = rt.submit(app, 0, 10, 0);
+  int max_placed = 0;
+  while (f.sim.step()) {
+    max_placed = std::max(max_placed, rt.app(id).units_placed());
+  }
+  EXPECT_GT(max_placed, 1);  // pipelined execution
+  EXPECT_TRUE(rt.app(id).done());
+}
+
+TEST(Nimblock, PreemptsForStarvingApp) {
+  Fixture f;
+  NimblockOptions opts;
+  opts.starvation_threshold = sim::ms(50.0);
+  opts.preempt_cooldown = sim::ms(10.0);
+  NimblockPolicy policy(opts);
+  BoardRuntime rt(f.board, policy);
+  // One long app that would monopolise all 8 slots...
+  apps::AppSpec big = make_uniform_app("big", 8, sim::ms(200));
+  rt.submit(big, 0, 30, 0);
+  // ... and a short app arriving later.
+  apps::AppSpec small = make_uniform_app("small", 1, sim::ms(1));
+  f.sim.schedule(sim::ms(500), [&] { rt.submit(small, 1, 1, sim::ms(500)); });
+  f.sim.run(sim::seconds(30.0));
+  EXPECT_GT(rt.counters().preemptions, 0);
+  // The small app finished long before the big one's natural end.
+  bool small_done = false;
+  for (const auto& c : rt.completed()) {
+    if (c.name == "small") small_done = true;
+  }
+  EXPECT_TRUE(small_done);
+}
+
+TEST(Nimblock, AdaptiveAllocationShrinksUnderLoad) {
+  Fixture f;
+  NimblockPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 6, sim::ms(10));
+  // 8 contenders over 8 slots: fair share is 1 slot per app.
+  std::vector<int> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(rt.submit(app, 0, 5, 0));
+  f.sim.run(sim::ms(500));
+  int max_placed = 0;
+  for (int id : ids) max_placed = std::max(max_placed, rt.app(id).units_placed());
+  EXPECT_LE(max_placed, 2);
+  f.sim.run();
+  EXPECT_EQ(rt.completed().size(), 8u);
+}
+
+TEST(Nimblock, ShortJobFirstOrdering) {
+  Fixture f;
+  NimblockPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  // Saturate the board, then submit one long and one short waiting app:
+  // the short one should start (and finish) first.
+  apps::AppSpec filler = make_uniform_app("filler", 8, sim::ms(100));
+  rt.submit(filler, 0, 10, 0);
+  apps::AppSpec longer = make_uniform_app("long", 6, sim::ms(80));
+  apps::AppSpec shorter = make_uniform_app("short", 2, sim::ms(2));
+  f.sim.schedule(sim::ms(10), [&] {
+    rt.submit(longer, 1, 20, sim::ms(10));
+    rt.submit(shorter, 2, 2, sim::ms(10));
+  });
+  f.sim.run();
+  ASSERT_EQ(rt.completed().size(), 3u);
+  sim::SimTime short_done = 0, long_done = 0;
+  for (const auto& c : rt.completed()) {
+    if (c.name == "short") short_done = c.completed;
+    if (c.name == "long") long_done = c.completed;
+  }
+  EXPECT_LT(short_done, long_done);
+}
+
+// ------------------------------------------------------------ policy_common
+
+TEST(PolicyCommon, NextPendingUnitInPipelineOrder) {
+  Fixture f;
+  test::ScriptedPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 3, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  EXPECT_EQ(next_pending_unit(rt.app(id)), 0);
+  rt.request_pr(id, 0, 0);
+  EXPECT_EQ(next_pending_unit(rt.app(id)), 1);
+  EXPECT_TRUE(has_pending_units(rt.app(id)));
+}
+
+TEST(PolicyCommon, LiveAppsSkipsDoneAndExtracted) {
+  Fixture f;
+  test::GreedyPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 1, sim::ms(1));
+  rt.submit(app, 0, 1, 0);
+  f.sim.run();
+  EXPECT_TRUE(live_apps(rt).empty());
+}
+
+TEST(PolicyCommon, GrantRespectsCaps) {
+  Fixture f;
+  test::ScriptedPolicy policy;
+  BoardRuntime rt(f.board, policy);
+  apps::AppSpec app = make_uniform_app("a", 6, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  std::unordered_map<int, int> caps{{id, 2}};
+  grant_little_slots(rt, {id}, caps);
+  EXPECT_EQ(rt.app(id).units_placed(), 2);
+}
+
+}  // namespace
+}  // namespace vs::baselines

@@ -1,0 +1,186 @@
+// Tests for the cluster layer: Aurora link, live migration, cross-board
+// switching, pre-warming, and end-to-end cluster runs.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "cluster/aurora.h"
+#include "cluster/cluster.h"
+#include "metrics/experiment.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace vs::cluster {
+namespace {
+
+TEST(Aurora, TransferTiming) {
+  sim::Simulator sim;
+  AuroraLink link(sim);
+  sim::SimTime done = -1;
+  link.transfer(1'250'000, [&] { done = sim.now(); });  // 1 ms at 10 Gb/s
+  sim.run();
+  EXPECT_EQ(done, link.params().transfer_time(1'250'000));
+  EXPECT_NEAR(sim::to_ms(done), 1.02, 0.05);
+  EXPECT_EQ(link.transfers(), 1);
+  EXPECT_EQ(link.bytes_moved(), 1'250'000);
+}
+
+TEST(Aurora, SerializesTransfers) {
+  sim::Simulator sim;
+  AuroraLink link(sim);
+  std::vector<int> order;
+  link.transfer(1'250'000, [&] { order.push_back(1); });
+  link.transfer(1'250'000, [&] { order.push_back(2); });
+  EXPECT_TRUE(link.busy());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+struct ClusterFixture {
+  sim::Simulator sim;
+  fpga::BoardParams params;
+  std::vector<apps::AppSpec> suite;
+  ClusterFixture() : suite(apps::make_suite(params)) {}
+
+  workload::Sequence stress_sequence(int n, std::uint64_t seed) {
+    workload::WorkloadConfig config;
+    config.congestion = workload::Congestion::kStress;
+    config.apps_per_sequence = n;
+    util::Rng rng(seed);
+    return workload::generate_sequence(config, rng);
+  }
+};
+
+TEST(Cluster, AllAppsCompleteWithSwitching) {
+  ClusterFixture f;
+  ClusterOptions options;
+  Cluster cluster(f.sim, f.suite, options);
+  cluster.submit_sequence(f.stress_sequence(40, 3));
+  f.sim.run();
+  EXPECT_TRUE(cluster.all_done());
+  EXPECT_EQ(cluster.completed().size(), 40u);
+}
+
+TEST(Cluster, SwitchTriggersUnderSustainedCongestion) {
+  ClusterFixture f;
+  ClusterOptions options;
+  Cluster cluster(f.sim, f.suite, options);
+  cluster.submit_sequence(f.stress_sequence(60, 5));
+  f.sim.run();
+  ASSERT_FALSE(cluster.switches().empty());
+  const SwitchEvent& e = cluster.switches().front();
+  EXPECT_EQ(e.to, core::SwitchLoop::Config::kBigLittle);
+  EXPECT_GE(e.dswitch, options.t1);
+  EXPECT_GT(e.apps_migrated, 0);
+  EXPECT_GT(e.bytes, 4096);
+  EXPECT_GT(e.overhead, 0);
+  // Migration overhead stays in the low-millisecond band the paper reports.
+  EXPECT_LT(sim::to_ms(e.overhead), 50.0);
+}
+
+TEST(Cluster, NoSwitchingWhenDisabled) {
+  ClusterFixture f;
+  ClusterOptions options;
+  options.enable_switching = false;
+  Cluster cluster(f.sim, f.suite, options);
+  cluster.submit_sequence(f.stress_sequence(40, 5));
+  f.sim.run();
+  EXPECT_TRUE(cluster.switches().empty());
+  EXPECT_TRUE(cluster.all_done());
+  EXPECT_EQ(cluster.active_config(), core::SwitchLoop::Config::kOnlyLittle);
+}
+
+TEST(Cluster, DSwitchTraceIsSampledEveryPeriod) {
+  ClusterFixture f;
+  ClusterOptions options;
+  options.enable_switching = false;
+  options.dswitch_period = 4;
+  Cluster cluster(f.sim, f.suite, options);
+  cluster.submit_sequence(f.stress_sequence(40, 5));
+  f.sim.run();
+  // 40 arrivals + 40 completions = 80 updates -> 20 samples.
+  EXPECT_EQ(cluster.dswitch().trace().size(), 20u);
+  for (const core::DSwitchSample& s : cluster.dswitch().trace()) {
+    EXPECT_GE(s.value, 0.0);
+    EXPECT_LE(s.value, 1.0);
+  }
+}
+
+TEST(Cluster, NoSwitchUnderLooseLoad) {
+  ClusterFixture f;
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kLoose;
+  config.apps_per_sequence = 15;
+  util::Rng rng(9);
+  ClusterOptions options;
+  Cluster cluster(f.sim, f.suite, options);
+  cluster.submit_sequence(workload::generate_sequence(config, rng));
+  f.sim.run();
+  EXPECT_TRUE(cluster.switches().empty());
+  EXPECT_TRUE(cluster.all_done());
+}
+
+TEST(Cluster, MigratedAppsKeepOriginalArrival) {
+  ClusterFixture f;
+  ClusterOptions options;
+  Cluster cluster(f.sim, f.suite, options);
+  workload::Sequence seq = f.stress_sequence(60, 5);
+  cluster.submit_sequence(seq);
+  f.sim.run();
+  ASSERT_FALSE(cluster.switches().empty());
+  // Every submitted app completed exactly once with response time measured
+  // from the original arrival (i.e. strictly positive and finite).
+  EXPECT_EQ(cluster.completed().size(), seq.size());
+  for (const runtime::CompletedApp& c : cluster.completed()) {
+    EXPECT_GT(c.completed, c.arrival);
+  }
+}
+
+TEST(Cluster, SwitchingImprovesCongestedResponse) {
+  ClusterFixture f;
+  workload::Sequence seq = f.stress_sequence(60, 5);
+
+  metrics::ClusterRunResult with_sw =
+      metrics::run_cluster(f.suite, seq, ClusterOptions{});
+  ClusterOptions off;
+  off.enable_switching = false;
+  metrics::ClusterRunResult without_sw =
+      metrics::run_cluster(f.suite, seq, off);
+
+  ASSERT_EQ(with_sw.completed, 60);
+  ASSERT_EQ(without_sw.completed, 60);
+  EXPECT_LT(with_sw.response.mean, without_sw.response.mean);
+}
+
+TEST(Cluster, PrewarmPopulatesSpareSdCache) {
+  // Run with prewarm enabled and check that post-switch PRs on the
+  // Big.Little board hit the warmed cache (few SD misses).
+  ClusterFixture f;
+  ClusterOptions warm;
+  metrics::ClusterRunResult with_warm =
+      metrics::run_cluster(f.suite, f.stress_sequence(60, 5), warm);
+  ClusterOptions cold = warm;
+  cold.enable_prewarm = false;
+  metrics::ClusterRunResult without_warm =
+      metrics::run_cluster(f.suite, f.stress_sequence(60, 5), cold);
+  ASSERT_FALSE(with_warm.switches.empty());
+  ASSERT_FALSE(without_warm.switches.empty());
+  // Pre-warming must never hurt.
+  EXPECT_LE(with_warm.response.mean, without_warm.response.mean * 1.001);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  ClusterFixture f;
+  workload::Sequence seq = f.stress_sequence(40, 5);
+  metrics::ClusterRunResult a =
+      metrics::run_cluster(f.suite, seq, ClusterOptions{});
+  metrics::ClusterRunResult b =
+      metrics::run_cluster(f.suite, seq, ClusterOptions{});
+  ASSERT_EQ(a.response_ms.size(), b.response_ms.size());
+  for (std::size_t i = 0; i < a.response_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.response_ms[i], b.response_ms[i]);
+  }
+  EXPECT_EQ(a.switches.size(), b.switches.size());
+}
+
+}  // namespace
+}  // namespace vs::cluster

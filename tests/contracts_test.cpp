@@ -1,0 +1,122 @@
+// Contract (precondition) tests: the runtime enforces its API contracts
+// with asserts, which this build keeps enabled. Each death test documents
+// one contract a policy author must respect.
+#include <gtest/gtest.h>
+
+#include "fpga/board.h"
+#include "runtime/board_runtime.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+
+namespace vs::runtime {
+namespace {
+
+using test::ScriptedPolicy;
+using test::make_uniform_app;
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, PrIntoBusySlotAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 2, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  rt.request_pr(id, 0, 0);
+  EXPECT_DEATH(rt.request_pr(id, 1, 0), "slot must be idle");
+}
+
+TEST(ContractsDeathTest, PrOfNonPendingUnitAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 1, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  rt.request_pr(id, 0, 0);
+  EXPECT_DEATH(rt.request_pr(id, 0, 1), "unit must be pending");
+}
+
+TEST(ContractsDeathTest, WrongSlotKindAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::big_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 1, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);  // Little unit
+  EXPECT_DEATH(rt.request_pr(id, 0, 0), "slot kind mismatch");  // B0 is Big
+}
+
+TEST(ContractsDeathTest, SubmitAfterStopAdmissionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  rt.stop_admission();
+  auto app = make_uniform_app("a", 1, sim::ms(1));
+  EXPECT_DEATH(rt.submit(app, 0, 1, 0), "draining");
+}
+
+TEST(ContractsDeathTest, SetUnitsAfterStartAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 2, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  rt.request_pr(id, 0, 0);
+  EXPECT_DEATH(rt.set_units(id, apps::make_little_units(app)),
+               "cannot re-unitise");
+}
+
+TEST(ContractsDeathTest, PreemptMidItemAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  test::GreedyPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 1, sim::ms(50));
+  int id = rt.submit(app, 0, 5, 0);
+  // Run until the unit is mid-item.
+  while (!rt.app(id).units[0].item_in_flight && sim.step()) {
+  }
+  ASSERT_TRUE(rt.app(id).units[0].item_in_flight);
+  EXPECT_DEATH(rt.preempt_unit(id, 0), "item boundaries");
+}
+
+TEST(ContractsDeathTest, ProgressVectorSizeMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 3, sim::ms(1));
+  EXPECT_DEATH(rt.submit_with_progress(app, 0, 4, 0, {1, 1}),
+               "cover every task");
+}
+
+TEST(ContractsDeathTest, NonMonotoneProgressAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  ScriptedPolicy policy;
+  BoardRuntime rt(board, policy);
+  auto app = make_uniform_app("a", 2, sim::ms(1));
+  // Downstream ahead of upstream is impossible in a pipeline.
+  EXPECT_DEATH(rt.submit_with_progress(app, 0, 4, 0, {1, 3}), "monotone");
+}
+
+TEST(ContractsDeathTest, SlotExecWithoutConfigureAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  fpga::Slot slot(0, fpga::SlotKind::kLittle, {1, 1, 1, 1});
+  EXPECT_DEATH(slot.begin_exec(), "");
+}
+
+}  // namespace
+}  // namespace vs::runtime

@@ -1,0 +1,99 @@
+// Tests for the D_switch metric (Eq. 1) and the Schmitt-trigger switch loop.
+#include <gtest/gtest.h>
+
+#include "core/dswitch.h"
+
+namespace vs::core {
+namespace {
+
+TEST(DSwitchValue, MatchesEquationOne) {
+  // D = (blocked/PR) * (apps/batch)
+  EXPECT_DOUBLE_EQ(dswitch_value(5, 10, 4, 40), 0.5 * 0.1);
+  EXPECT_DOUBLE_EQ(dswitch_value(10, 10, 10, 10), 1.0);  // worst case
+}
+
+TEST(DSwitchValue, ZeroWhenNoPrsOrNoApps) {
+  EXPECT_EQ(dswitch_value(3, 0, 4, 40), 0.0);
+  EXPECT_EQ(dswitch_value(3, 10, 0, 0), 0.0);
+  EXPECT_EQ(dswitch_value(3, 10, 4, 0), 0.0);
+}
+
+TEST(DSwitchValue, ClampedToUnitInterval) {
+  EXPECT_LE(dswitch_value(100, 10, 50, 10), 1.0);
+  EXPECT_GE(dswitch_value(0, 10, 4, 40), 0.0);
+}
+
+TEST(DSwitchValue, MonotoneInBlocked) {
+  EXPECT_LT(dswitch_value(1, 10, 4, 40), dswitch_value(5, 10, 4, 40));
+}
+
+TEST(DSwitchValue, WorstCaseWhenBatchEqualsApps) {
+  // "If each application is allocated only one slot with batch size to be
+  // one, N_batch = N_apps ... corresponds to the maximum value."
+  double batch_one = dswitch_value(8, 10, 20, 20);
+  double batch_many = dswitch_value(8, 10, 20, 400);
+  EXPECT_GT(batch_one, batch_many);
+}
+
+TEST(DSwitchMonitor, FiresEveryNUpdates) {
+  DSwitchMonitor m(4);
+  int fires = 0;
+  for (int i = 0; i < 12; ++i) fires += m.on_queue_update();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(m.period(), 4);
+}
+
+TEST(DSwitchMonitor, RecordsTrace) {
+  DSwitchMonitor m(2);
+  EXPECT_EQ(m.last(), 0.0);
+  m.record({100, 0.25, 1, 4, 2, 20});
+  m.record({200, 0.5, 2, 4, 4, 20});
+  ASSERT_EQ(m.trace().size(), 2u);
+  EXPECT_EQ(m.trace()[0].time, 100);
+  EXPECT_DOUBLE_EQ(m.last(), 0.5);
+}
+
+TEST(SwitchLoop, TriggersUpAtT1) {
+  SwitchLoop loop(0.5, 0.2);
+  EXPECT_EQ(loop.config(), SwitchLoop::Config::kOnlyLittle);
+  EXPECT_EQ(loop.feed(0.1), SwitchLoop::Action::kNone);
+  EXPECT_EQ(loop.feed(0.3), SwitchLoop::Action::kPrewarmBigLittle);
+  EXPECT_EQ(loop.feed(0.5), SwitchLoop::Action::kSwitchToBigLittle);
+  EXPECT_EQ(loop.config(), SwitchLoop::Config::kBigLittle);
+}
+
+TEST(SwitchLoop, TriggersDownAtT2) {
+  SwitchLoop loop(0.5, 0.2, SwitchLoop::Config::kBigLittle);
+  EXPECT_EQ(loop.feed(0.6), SwitchLoop::Action::kNone);
+  EXPECT_EQ(loop.feed(0.3), SwitchLoop::Action::kPrewarmOnlyLittle);
+  EXPECT_EQ(loop.feed(0.2), SwitchLoop::Action::kSwitchToOnlyLittle);
+  EXPECT_EQ(loop.config(), SwitchLoop::Config::kOnlyLittle);
+}
+
+TEST(SwitchLoop, HysteresisPreventsThrashing) {
+  // Oscillating inside the buffer zone must never switch.
+  SwitchLoop loop(0.5, 0.2);
+  for (int i = 0; i < 20; ++i) {
+    auto a = loop.feed(i % 2 ? 0.45 : 0.25);
+    EXPECT_NE(a, SwitchLoop::Action::kSwitchToBigLittle);
+    EXPECT_NE(a, SwitchLoop::Action::kSwitchToOnlyLittle);
+  }
+  EXPECT_EQ(loop.config(), SwitchLoop::Config::kOnlyLittle);
+}
+
+TEST(SwitchLoop, FullCycle) {
+  SwitchLoop loop(0.5, 0.2);
+  EXPECT_EQ(loop.feed(0.7), SwitchLoop::Action::kSwitchToBigLittle);
+  EXPECT_EQ(loop.feed(0.7), SwitchLoop::Action::kNone);  // already there
+  EXPECT_EQ(loop.feed(0.1), SwitchLoop::Action::kSwitchToOnlyLittle);
+  EXPECT_EQ(loop.feed(0.1), SwitchLoop::Action::kNone);
+}
+
+TEST(SwitchLoop, ThresholdAccessors) {
+  SwitchLoop loop(0.4, 0.1);
+  EXPECT_DOUBLE_EQ(loop.t1(), 0.4);
+  EXPECT_DOUBLE_EQ(loop.t2(), 0.1);
+}
+
+}  // namespace
+}  // namespace vs::core

@@ -1,0 +1,233 @@
+// Integration tests across the whole stack: the experiment harness, the
+// workload generator, end-to-end runs of all six systems, determinism, and
+// conservation invariants.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "metrics/experiment.h"
+#include "workload/generator.h"
+
+namespace vs::metrics {
+namespace {
+
+struct Env {
+  fpga::BoardParams params;
+  std::vector<apps::AppSpec> suite;
+  Env() : suite(apps::make_suite(params)) {}
+
+  workload::Sequence sequence(workload::Congestion c, int n,
+                              std::uint64_t seed) {
+    workload::WorkloadConfig config;
+    config.congestion = c;
+    config.apps_per_sequence = n;
+    util::Rng rng(seed);
+    return workload::generate_sequence(config, rng);
+  }
+};
+
+TEST(Workload, DeterministicFromSeed) {
+  Env env;
+  auto a = env.sequence(workload::Congestion::kStandard, 20, 42);
+  auto b = env.sequence(workload::Congestion::kStandard, 20, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec_index, b[i].spec_index);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].batch, b[i].batch);
+  }
+}
+
+TEST(Workload, BatchBoundsAndMonotoneArrivals) {
+  Env env;
+  for (auto c : {workload::Congestion::kLoose, workload::Congestion::kStandard,
+                 workload::Congestion::kStress,
+                 workload::Congestion::kRealtime}) {
+    auto seq = env.sequence(c, 50, 7);
+    sim::SimTime prev = -1;
+    for (const auto& a : seq) {
+      EXPECT_GE(a.batch, 5);
+      EXPECT_LE(a.batch, 30);
+      EXPECT_GE(a.spec_index, 0);
+      EXPECT_LT(a.spec_index, 5);
+      EXPECT_GT(a.arrival, prev);
+      prev = a.arrival;
+    }
+  }
+}
+
+TEST(Workload, IntervalRegimes) {
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(workload::draw_interval(workload::Congestion::kLoose, rng),
+              sim::ms(5000.0));
+    auto std_iv = workload::draw_interval(workload::Congestion::kStandard, rng);
+    EXPECT_GE(std_iv, sim::ms(1500.0));
+    EXPECT_LE(std_iv, sim::ms(2000.0));
+    auto stress = workload::draw_interval(workload::Congestion::kStress, rng);
+    EXPECT_GE(stress, sim::ms(150.0));
+    EXPECT_LE(stress, sim::ms(200.0));
+    EXPECT_EQ(workload::draw_interval(workload::Congestion::kRealtime, rng),
+              sim::ms(50.0));
+  }
+}
+
+TEST(Workload, GenerateSequencesAreIndependent) {
+  workload::WorkloadConfig config;
+  auto seqs = workload::generate_sequences(config, 10, 99);
+  ASSERT_EQ(seqs.size(), 10u);
+  // First arrivals all zero, but batches should not all coincide.
+  int same_as_first = 0;
+  for (const auto& s : seqs) same_as_first += (s[0].batch == seqs[0][0].batch);
+  EXPECT_LT(same_as_first, 10);
+}
+
+TEST(Experiment, SystemNamesAndFabrics) {
+  EXPECT_STREQ(system_name(SystemKind::kBaseline), "Baseline");
+  EXPECT_STREQ(system_name(SystemKind::kVersaBigLittle), "VersaSlot-BL");
+  EXPECT_EQ(fabric_for(SystemKind::kVersaBigLittle).kind,
+            fpga::FabricKind::kBigLittle);
+  EXPECT_EQ(fabric_for(SystemKind::kNimblock).kind,
+            fpga::FabricKind::kOnlyLittle);
+}
+
+TEST(Experiment, MakePolicyCoversAllKinds) {
+  for (int k = 0; k < kSystemCount; ++k) {
+    auto p = make_policy(static_cast<SystemKind>(k));
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), system_name(static_cast<SystemKind>(k)));
+  }
+}
+
+TEST(Experiment, DeterministicRuns) {
+  Env env;
+  auto seq = env.sequence(workload::Congestion::kStress, 12, 5);
+  RunResult a = run_single_board(SystemKind::kVersaBigLittle, env.suite, seq);
+  RunResult b = run_single_board(SystemKind::kVersaBigLittle, env.suite, seq);
+  ASSERT_EQ(a.response_ms.size(), b.response_ms.size());
+  for (std::size_t i = 0; i < a.response_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.response_ms[i], b.response_ms[i]);
+  }
+  EXPECT_EQ(a.counters.pr_requests, b.counters.pr_requests);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(Experiment, AggregatePoolsSequences) {
+  Env env;
+  std::vector<workload::Sequence> seqs{
+      env.sequence(workload::Congestion::kStandard, 5, 1),
+      env.sequence(workload::Congestion::kStandard, 5, 2)};
+  AggregateResult agg =
+      aggregate(SystemKind::kVersaBigLittle, env.suite, seqs);
+  EXPECT_EQ(agg.all_responses_ms.size(), 10u);
+  EXPECT_GT(agg.mean_response_ms, 0.0);
+  EXPECT_GE(agg.p99_ms, agg.p95_ms);
+}
+
+TEST(Experiment, BigLittleBeatsBaselineUnderStandardLoad) {
+  Env env;
+  auto seq = env.sequence(workload::Congestion::kStandard, 15, 11);
+  RunResult base = run_single_board(SystemKind::kBaseline, env.suite, seq);
+  RunResult bl =
+      run_single_board(SystemKind::kVersaBigLittle, env.suite, seq);
+  ASSERT_EQ(base.completed, 15);
+  ASSERT_EQ(bl.completed, 15);
+  // The headline result, loosely: spatio-temporal sharing with Big.Little
+  // slots crushes exclusive temporal multiplexing.
+  EXPECT_LT(bl.response.mean * 4, base.response.mean);
+}
+
+TEST(Experiment, DualCoreBeatsSingleCoreVersaSlot) {
+  Env env;
+  auto seq = env.sequence(workload::Congestion::kStress, 15, 13);
+  RunOptions dual;
+  RunOptions single;
+  single.vs_options.dual_core = false;
+  RunResult d =
+      run_single_board(SystemKind::kVersaOnlyLittle, env.suite, seq, dual);
+  RunResult s =
+      run_single_board(SystemKind::kVersaOnlyLittle, env.suite, seq, single);
+  EXPECT_LT(d.response.mean, s.response.mean);
+}
+
+// ---------------------------------------------------------------- sweeps
+
+struct SweepParam {
+  SystemKind kind;
+  workload::Congestion congestion;
+  std::uint64_t seed;
+};
+
+class SystemSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SystemSweep, CompletesAllAppsWithSaneMetrics) {
+  const SweepParam p = GetParam();
+  Env env;
+  auto seq = env.sequence(p.congestion, 10, p.seed);
+  RunResult r = run_single_board(p.kind, env.suite, seq);
+
+  // Completion: every submitted app finishes.
+  EXPECT_EQ(r.completed, r.submitted);
+
+  // Response times positive and consistent with the summary.
+  for (double ms : r.response_ms) EXPECT_GT(ms, 0.0);
+  EXPECT_GE(r.response.max, r.response.p99);
+  EXPECT_GE(r.response.p99, r.response.p95);
+  EXPECT_GE(r.response.p95, r.response.p50);
+  EXPECT_GE(r.response.p50, r.response.min);
+
+  // Conservation: every batch item of every task executed exactly once.
+  // (units may be bundles, so compare item-executions against units.)
+  std::int64_t expected_items = 0;
+  for (const auto& a : seq) {
+    int tasks =
+        env.suite[static_cast<std::size_t>(a.spec_index)].task_count();
+    int units = (p.kind == SystemKind::kVersaBigLittle)
+                    ? 0  // depends on binding; just require a lower bound
+                    : tasks;
+    expected_items += static_cast<std::int64_t>(units) * a.batch;
+  }
+  if (p.kind == SystemKind::kVersaBigLittle) {
+    EXPECT_GT(r.counters.items_executed, 0);
+  } else {
+    EXPECT_EQ(r.counters.items_executed, expected_items);
+  }
+
+  // PR accounting: every placement required a PR; blocked PRs cannot
+  // exceed requests.
+  EXPECT_GE(r.counters.pr_requests,
+            static_cast<std::int64_t>(r.response_ms.size()));
+  EXPECT_LE(r.counters.pr_blocked, r.counters.pr_requests);
+
+  // Utilisation sanity.
+  EXPECT_LE(r.utilization.lut_used, r.utilization.lut_capacity + 1e-6);
+  EXPECT_LE(r.utilization.lut_capacity, r.utilization.lut_fabric + 1e-6);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string n = system_name(info.param.kind);
+  for (char& c : n) {
+    if (c == '-' || c == '.') c = '_';
+  }
+  std::string c = workload::congestion_name(info.param.congestion);
+  std::erase(c, '-');
+  return n + "_" + c + std::to_string(info.param.seed);
+}
+
+std::vector<SweepParam> make_sweep() {
+  std::vector<SweepParam> out;
+  for (int k = 0; k < kSystemCount; ++k) {
+    for (auto c : {workload::Congestion::kStandard,
+                   workload::Congestion::kStress}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        out.push_back({static_cast<SystemKind>(k), c, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemSweep,
+                         ::testing::ValuesIn(make_sweep()), sweep_name);
+
+}  // namespace
+}  // namespace vs::metrics

@@ -1,0 +1,178 @@
+// Tests for the offline partitioning flow: feasibility, minimality,
+// balance, manifest generation, and end-to-end execution of a partitioned
+// application.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "apps/offline_flow.h"
+#include "fpga/board.h"
+#include "metrics/experiment.h"
+#include "runtime/board_runtime.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+
+namespace vs::apps {
+namespace {
+
+KernelOp op(const std::string& name, double lut_frac, double latency_ms,
+            const fpga::BoardParams& params) {
+  KernelOp o;
+  o.name = name;
+  o.raw_demand = {
+      static_cast<std::int64_t>(lut_frac *
+                                static_cast<double>(params.little_slot.luts)),
+      static_cast<std::int64_t>(lut_frac *
+                                static_cast<double>(params.little_slot.ffs)),
+      static_cast<std::int64_t>(lut_frac * 40),
+      static_cast<std::int64_t>(lut_frac * 100),
+  };
+  o.item_latency = sim::ms(latency_ms);
+  o.bytes_in = 100'000;
+  o.bytes_out = 100'000;
+  return o;
+}
+
+TEST(OfflineFlow, SingleOpSingleTask) {
+  OfflineFlowConfig config;
+  KernelGraph g{"one", {op("k0", 0.5, 3.0, config.board)}};
+  FlowReport r = partition(g, config);
+  EXPECT_EQ(r.task_count(), 1);
+  EXPECT_EQ(r.ops_per_task, (std::vector<int>{1}));
+  EXPECT_EQ(r.app.tasks[0].item_latency, sim::ms(3.0));
+  EXPECT_FALSE(r.bundleable);  // one task has nothing to bundle
+}
+
+TEST(OfflineFlow, FusesSmallOps) {
+  OfflineFlowConfig config;
+  KernelGraph g{"small", {}};
+  for (int i = 0; i < 6; ++i) {
+    g.ops.push_back(op("k" + std::to_string(i), 0.12, 1.0, config.board));
+  }
+  FlowReport r = partition(g, config);
+  // Six 12%-ops fit in one Little slot (72% raw).
+  EXPECT_EQ(r.task_count(), 1);
+  EXPECT_EQ(r.ops_per_task, (std::vector<int>{6}));
+  // Fusion speedup applies to merged ops.
+  EXPECT_LT(r.app.tasks[0].item_latency, sim::ms(6.0));
+}
+
+TEST(OfflineFlow, SplitsWhenOverCapacity) {
+  OfflineFlowConfig config;
+  KernelGraph g{"split", {}};
+  for (int i = 0; i < 4; ++i) {
+    g.ops.push_back(op("k" + std::to_string(i), 0.4, 2.0, config.board));
+  }
+  FlowReport r = partition(g, config);
+  // 0.4 raw each: two fit (0.8), three do not. Minimum tasks = 2.
+  EXPECT_EQ(r.task_count(), 2);
+  EXPECT_EQ(r.ops_per_task, (std::vector<int>{2, 2}));
+  for (double fill : r.synth_fill) {
+    EXPECT_LE(fill, 1.0);
+    EXPECT_GT(fill, 0.5);
+  }
+}
+
+TEST(OfflineFlow, MinimisesBottleneckAmongMinimalPartitions) {
+  OfflineFlowConfig config;
+  // Latencies 8,1,1,8 with capacity for at most 2 fused ops: partitions
+  // {8,1}{1,8} (bottleneck ~7.65) beats {8}{1,1}{8} (3 tasks) and the
+  // unbalanced 2-task alternatives.
+  KernelGraph g{"balance",
+                {op("a", 0.45, 8.0, config.board),
+                 op("b", 0.45, 1.0, config.board),
+                 op("c", 0.45, 1.0, config.board),
+                 op("d", 0.45, 8.0, config.board)}};
+  FlowReport r = partition(g, config);
+  EXPECT_EQ(r.task_count(), 2);
+  EXPECT_EQ(r.ops_per_task, (std::vector<int>{2, 2}));
+  sim::SimDuration t0 = r.app.tasks[0].item_latency;
+  sim::SimDuration t1 = r.app.tasks[1].item_latency;
+  EXPECT_EQ(t0, t1);  // symmetric split
+}
+
+TEST(OfflineFlow, ThrowsOnOversizedOp) {
+  OfflineFlowConfig config;
+  KernelGraph g{"huge", {op("k0", 1.5, 1.0, config.board)}};
+  EXPECT_THROW(partition(g, config), std::invalid_argument);
+}
+
+TEST(OfflineFlow, ThrowsOnEmptyGraph) {
+  OfflineFlowConfig config;
+  KernelGraph g{"empty", {}};
+  EXPECT_THROW(partition(g, config), std::invalid_argument);
+}
+
+TEST(OfflineFlow, RespectsMaxFill) {
+  OfflineFlowConfig tight;
+  tight.max_fill = 0.5;
+  KernelGraph g{"tight",
+                {op("a", 0.3, 1.0, tight.board), op("b", 0.3, 1.0, tight.board)}};
+  FlowReport r = partition(g, tight);
+  EXPECT_EQ(r.task_count(), 2);  // 0.6 raw would fit a slot but not 50%
+}
+
+TEST(OfflineFlow, BundleableWhenTasksSmallEnough) {
+  OfflineFlowConfig config;
+  KernelGraph g{"bundle", {}};
+  for (int i = 0; i < 3; ++i) {
+    g.ops.push_back(op("k" + std::to_string(i), 0.55, 2.0, config.board));
+  }
+  FlowReport r = partition(g, config);
+  EXPECT_EQ(r.task_count(), 3);
+  EXPECT_TRUE(r.bundleable);
+}
+
+TEST(OfflineFlow, ManifestCoversAllVariants) {
+  OfflineFlowConfig config;
+  fpga::BoardParams params;
+  AppSpec lenet = make_app(Benchmark::kLeNet, params);
+  BitstreamManifest m = make_manifest(lenet, config);
+  // 6 Little task bitstreams + 2 bundles x {parallel, serial} = 10 entries.
+  ASSERT_EQ(m.entries.size(), 10u);
+  int little = 0, parallel = 0, serial = 0;
+  std::int64_t bytes = 0;
+  for (const BitstreamEntry& e : m.entries) {
+    bytes += e.bytes;
+    if (e.slot_kind == fpga::SlotKind::kLittle) ++little;
+    if (e.mode == BundleMode::kParallel) ++parallel;
+    if (e.mode == BundleMode::kSerial) ++serial;
+  }
+  EXPECT_EQ(little, 6);
+  EXPECT_EQ(parallel, 2);
+  EXPECT_EQ(serial, 2);
+  EXPECT_EQ(m.total_bytes, bytes);
+  EXPECT_EQ(m.total_bytes, 6 * params.little_bitstream_bytes +
+                               4 * params.big_bitstream_bytes);
+}
+
+TEST(OfflineFlow, ManifestWithoutBundlesForUnbundleableApp) {
+  OfflineFlowConfig config;
+  KernelGraph g{"one", {op("k0", 0.5, 3.0, config.board)}};
+  FlowReport r = partition(g, config);
+  BitstreamManifest m = make_manifest(r.app, config);
+  EXPECT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].slot_kind, fpga::SlotKind::kLittle);
+}
+
+TEST(OfflineFlow, PartitionedAppRunsEndToEnd) {
+  OfflineFlowConfig config;
+  KernelGraph g{"video", {}};
+  const double fracs[] = {0.3, 0.2, 0.45, 0.25, 0.3, 0.5, 0.2, 0.35};
+  const double lats[] = {2, 1, 4, 1.5, 2, 5, 1, 3};
+  for (int i = 0; i < 8; ++i) {
+    g.ops.push_back(op("s" + std::to_string(i), fracs[i], lats[i], config.board));
+  }
+  FlowReport r = partition(g, config);
+  ASSERT_GE(r.task_count(), 2);
+
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::big_little());
+  auto policy = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
+  runtime::BoardRuntime rt(board, *policy);
+  rt.submit(r.app, 0, 6, 0);
+  sim.run();
+  EXPECT_EQ(rt.completed().size(), 1u);
+}
+
+}  // namespace
+}  // namespace vs::apps

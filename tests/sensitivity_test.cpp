@@ -1,0 +1,121 @@
+// Calibration-sensitivity tests: the reproduced *shape* (who wins) must
+// not hinge on the exact calibration point. Each sweep perturbs one block
+// of BoardParams by a substantial factor and re-checks the core orderings
+// under a congested workload.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "metrics/experiment.h"
+#include "workload/generator.h"
+
+namespace vs::metrics {
+namespace {
+
+struct Means {
+  double baseline, nimblock, ol, bl;
+};
+
+Means run_with(const fpga::BoardParams& params, workload::Congestion c) {
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = c;
+  config.apps_per_sequence = 20;
+  auto sequences = workload::generate_sequences(config, 3, 2025);
+  RunOptions options;
+  options.board_params = params;
+  auto mean = [&](SystemKind kind) {
+    return aggregate(kind, suite, sequences, options).mean_response_ms;
+  };
+  return {mean(SystemKind::kBaseline), mean(SystemKind::kNimblock),
+          mean(SystemKind::kVersaOnlyLittle),
+          mean(SystemKind::kVersaBigLittle)};
+}
+
+void expect_core_ordering(const Means& m, const std::string& label) {
+  // The two claims that must survive any reasonable calibration:
+  // Big.Little beats Nimblock and crushes the exclusive baseline.
+  EXPECT_LT(m.bl, m.nimblock) << label;
+  EXPECT_LT(m.bl * 2, m.baseline) << label;
+  EXPECT_LT(m.ol, m.nimblock * 1.05) << label;  // OL at least ties Nimblock
+}
+
+TEST(Sensitivity, PcapBandwidthHalved) {
+  fpga::BoardParams p;
+  p.pcap_bandwidth_bytes_per_s /= 2;  // 64 MB/s
+  expect_core_ordering(run_with(p, workload::Congestion::kStandard),
+                       "pcap/2 standard");
+}
+
+TEST(Sensitivity, PcapBandwidthDoubled) {
+  fpga::BoardParams p;
+  p.pcap_bandwidth_bytes_per_s *= 2;  // 256 MB/s
+  expect_core_ordering(run_with(p, workload::Congestion::kStandard),
+                       "pcap*2 standard");
+}
+
+TEST(Sensitivity, BitstreamsThirtyPercentLarger) {
+  fpga::BoardParams p;
+  p.little_bitstream_bytes = p.little_bitstream_bytes * 13 / 10;
+  p.big_bitstream_bytes = p.big_bitstream_bytes * 13 / 10;
+  expect_core_ordering(run_with(p, workload::Congestion::kStress),
+                       "bitstreams*1.3 stress");
+}
+
+TEST(Sensitivity, SdCardSlower) {
+  fpga::BoardParams p;
+  p.sd_bandwidth_bytes_per_s = 40e6;  // older card
+  expect_core_ordering(run_with(p, workload::Congestion::kStandard),
+                       "sd/2 standard");
+}
+
+TEST(Sensitivity, CheapFullReconfigStillLoses) {
+  // Even with a generously fast exclusive baseline (half-size monolithic
+  // bitstream, half the restart), sharing wins under congestion.
+  fpga::BoardParams p;
+  p.full_bitstream_bytes /= 2;
+  p.full_reconfig_restart /= 2;
+  Means m = run_with(p, workload::Congestion::kStandard);
+  EXPECT_LT(m.bl * 2, m.baseline);
+}
+
+TEST(Sensitivity, FasterSchedulerCores) {
+  fpga::BoardParams p;
+  p.sched_pass_cost /= 4;
+  p.launch_op_cost /= 4;
+  expect_core_ordering(run_with(p, workload::Congestion::kStress),
+                       "fast cores stress");
+}
+
+TEST(Sensitivity, NoRelocationSupport) {
+  // Disable bitstream relocation (relocation as slow as an SD read):
+  // orderings must hold even on tooling without relocation.
+  fpga::BoardParams p;
+  p.reloc_bandwidth_bytes_per_s = p.sd_bandwidth_bytes_per_s;
+  p.reloc_overhead = p.sd_seek_overhead;
+  expect_core_ordering(run_with(p, workload::Congestion::kStandard),
+                       "no-reloc standard");
+}
+
+TEST(Sensitivity, BiggerFabricMoreSlots) {
+  // A larger part hosting 3 Big + 6 Little behaves consistently.
+  fpga::BoardParams p;
+  auto suite = apps::make_suite(p);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 20;
+  auto sequences = workload::generate_sequences(config, 3, 2025);
+  RunOptions bl;
+  bl.fabric = fpga::FabricConfig::custom(3, 6);
+  RunOptions ol;
+  ol.fabric = fpga::FabricConfig::custom(0, 12);
+  double bl_mean =
+      aggregate(SystemKind::kVersaBigLittle, suite, sequences, bl)
+          .mean_response_ms;
+  double ol_mean =
+      aggregate(SystemKind::kVersaOnlyLittle, suite, sequences, ol)
+          .mean_response_ms;
+  EXPECT_LT(bl_mean, ol_mean * 1.1);  // Big.Little at worst ties
+}
+
+}  // namespace
+}  // namespace vs::metrics

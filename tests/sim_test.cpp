@@ -1,0 +1,171 @@
+// Unit tests for the discrete-event simulation kernel: event ordering,
+// cancellation, time semantics, and the serially-busy Core model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/core.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace vs::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(100, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(fired.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.schedule(10, [&] { ++fired; });
+  q.schedule(20, [&] { ++fired; });
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAllMakesEmpty) {
+  EventQueue q;
+  EventId a = q.schedule(10, [] {});
+  EventId b = q.schedule(20, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, AdvancesTimeToEvent) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule(ms(5.0), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, ms(5.0));
+  EXPECT_EQ(sim.now(), ms(5.0));
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(10, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(Simulator, RunUntilBoundStopsAndHoldsLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1, [&] { ++fired; });
+  sim.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Core, RunsOpsSeriallyInFifoOrder) {
+  Simulator sim;
+  Core core(sim, "c0");
+  std::vector<std::pair<int, SimTime>> done;
+  core.submit(100, [&] { done.emplace_back(1, sim.now()); });
+  core.submit(50, [&] { done.emplace_back(2, sim.now()); });
+  core.submit(10, [&] { done.emplace_back(3, sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], (std::pair<int, SimTime>{1, 100}));
+  EXPECT_EQ(done[1], (std::pair<int, SimTime>{2, 150}));
+  EXPECT_EQ(done[2], (std::pair<int, SimTime>{3, 160}));
+}
+
+TEST(Core, BusyAndBacklogReflectQueue) {
+  Simulator sim;
+  Core core(sim, "c0");
+  core.submit(100, [] {});
+  core.submit(100, [] {});
+  EXPECT_TRUE(core.busy());
+  EXPECT_EQ(core.backlog(), 1u);
+  sim.run();
+  EXPECT_FALSE(core.busy());
+  EXPECT_EQ(core.backlog(), 0u);
+}
+
+TEST(Core, AvailableAtAccountsForQueuedWork) {
+  Simulator sim;
+  Core core(sim, "c0");
+  EXPECT_EQ(core.available_at(), 0);
+  core.submit(100, [] {});
+  core.submit(50, [] {});
+  EXPECT_EQ(core.available_at(), 150);
+}
+
+TEST(Core, CompletionCallbackCanResubmit) {
+  Simulator sim;
+  Core core(sim, "c0");
+  std::vector<SimTime> ends;
+  core.submit(10, [&] {
+    ends.push_back(sim.now());
+    core.submit(10, [&] { ends.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(ends, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(Core, TracksBusyTime) {
+  Simulator sim;
+  Core core(sim, "c0");
+  core.submit(100, [] {});
+  core.submit(25, [] {});
+  sim.run();
+  EXPECT_EQ(core.busy_time(), 125);
+}
+
+TEST(Core, LabelVisibleWhileExecuting) {
+  Simulator sim;
+  Core core(sim, "c0");
+  bool checked = false;
+  core.submit(
+      100, [] {}, "pcap:load");
+  sim.schedule(50, [&] {
+    EXPECT_EQ(core.current_label(), "pcap:load");
+    checked = true;
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+  EXPECT_TRUE(core.current_label().empty());
+}
+
+}  // namespace
+}  // namespace vs::sim

@@ -1,0 +1,137 @@
+// Tests for placement-specific bitstream storage: relocation, the async
+// SD queue, and cache-aware slot selection in the runtime.
+#include <gtest/gtest.h>
+
+#include "fpga/board.h"
+#include "fpga/storage.h"
+#include "runtime/board_runtime.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+
+namespace vs {
+namespace {
+
+TEST(Relocation, SecondSlotVariantRelocatesInsteadOfRereading) {
+  sim::Simulator sim;
+  fpga::BoardParams params;
+  fpga::SdCard sd(sim, params);
+  const fpga::BitstreamKey content = 0xAA00;
+  sim::SimDuration first = sd.fetch_time(/*key=*/1, content, 12'000'000);
+  EXPECT_EQ(first, params.sd_read_time(12'000'000));
+  sim::SimDuration second = sd.fetch_time(/*key=*/2, content, 12'000'000);
+  EXPECT_EQ(second, params.reloc_time(12'000'000));
+  EXPECT_LT(second, first);
+  EXPECT_EQ(sd.misses(), 1);
+  EXPECT_EQ(sd.relocations(), 1);
+  // Exact repeat: free.
+  EXPECT_EQ(sd.fetch_time(/*key=*/2, content, 12'000'000), 0);
+}
+
+TEST(Relocation, DifferentContentAlwaysReadsSd) {
+  sim::Simulator sim;
+  fpga::BoardParams params;
+  fpga::SdCard sd(sim, params);
+  (void)sd.fetch_time(1, 0xA, 1'000'000);
+  sim::SimDuration t = sd.fetch_time(2, 0xB, 1'000'000);
+  EXPECT_EQ(t, params.sd_read_time(1'000'000));
+  EXPECT_EQ(sd.misses(), 2);
+  EXPECT_EQ(sd.relocations(), 0);
+}
+
+TEST(SdAsyncQueue, SerializesReads) {
+  sim::Simulator sim;
+  fpga::BoardParams params;
+  fpga::SdCard sd(sim, params);
+  std::vector<std::pair<int, sim::SimTime>> done;
+  sd.fetch(1, 8'000'000, [&] { done.emplace_back(1, sim.now()); });
+  sd.fetch(2, 8'000'000, [&] { done.emplace_back(2, sim.now()); });
+  EXPECT_TRUE(sd.busy());
+  EXPECT_EQ(sd.backlog(), 1u);
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  sim::SimDuration read = params.sd_read_time(8'000'000);
+  EXPECT_EQ(done[0].second, read);
+  EXPECT_EQ(done[1].second, 2 * read);
+}
+
+TEST(SdAsyncQueue, CachedFetchIsImmediate) {
+  sim::Simulator sim;
+  fpga::BoardParams params;
+  fpga::SdCard sd(sim, params);
+  sd.prewarm(7);
+  bool done = false;
+  sd.fetch(7, 8'000'000, [&] { done = true; });
+  EXPECT_TRUE(done);  // synchronous hit
+}
+
+TEST(SdAsyncQueue, OnBlockedFiresForQueuedReads) {
+  sim::Simulator sim;
+  fpga::BoardParams params;
+  fpga::SdCard sd(sim, params);
+  int blocked = 0;
+  sd.fetch(1, 1'000'000, [] {}, [&] { ++blocked; });
+  sd.fetch(2, 1'000'000, [] {}, [&] { ++blocked; });
+  sim.run();
+  EXPECT_EQ(blocked, 1);
+}
+
+TEST(ChooseSlot, PrefersCachedPlacement) {
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  test::ScriptedPolicy policy;
+  runtime::BoardRuntime rt(board, policy);
+  auto app = test::make_uniform_app("a", 1, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  // Warm the bitstream for slot 5 only.
+  board.sdcard().prewarm(
+      runtime::unit_bitstream_key(0, rt.app(id).units[0].spec, 5));
+  std::vector<int> candidates{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(rt.choose_slot(id, 0, candidates), 5);
+}
+
+TEST(ChooseSlot, FallsBackToFirstCandidate) {
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  test::ScriptedPolicy policy;
+  runtime::BoardRuntime rt(board, policy);
+  auto app = test::make_uniform_app("a", 1, sim::ms(1));
+  int id = rt.submit(app, 0, 1, 0);
+  std::vector<int> candidates{3, 6};
+  EXPECT_EQ(rt.choose_slot(id, 0, candidates), 3);
+}
+
+TEST(ChooseSlot, SecondInstanceReusesWarmSlot) {
+  // Run one app to completion, then submit the same spec again: its PRs
+  // should land on the already-warm slots (no new SD misses).
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  test::GreedyPolicy policy;
+  runtime::BoardRuntime rt(board, policy);
+  auto app = test::make_uniform_app("a", 3, sim::ms(2));
+  rt.submit(app, 0, 2, 0);
+  sim.run();
+  std::int64_t misses_after_first = board.sdcard().misses();
+  rt.submit(app, 0, 2, sim.now());
+  sim.run();
+  EXPECT_EQ(board.sdcard().misses(), misses_after_first);
+}
+
+TEST(Relocation, RuntimeUsesRelocationAcrossSlots) {
+  // Force the same unit content into two different slots: the second PR
+  // must relocate rather than re-read.
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  test::ScriptedPolicy policy;
+  runtime::BoardRuntime rt(board, policy);
+  auto app = test::make_uniform_app("a", 1, sim::ms(1));
+  int a0 = rt.submit(app, 0, 1, 0);
+  int a1 = rt.submit(app, 0, 1, 0);
+  rt.request_pr(a0, 0, 2);
+  rt.request_pr(a1, 0, 6);  // same content, different slot
+  sim.run();
+  EXPECT_EQ(board.sdcard().misses(), 1);
+  EXPECT_EQ(board.sdcard().relocations(), 1);
+}
+
+}  // namespace
+}  // namespace vs

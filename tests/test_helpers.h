@@ -1,0 +1,85 @@
+// Shared helpers for tests: compact synthetic application builders and a
+// trivial manually-driven policy for exercising the BoardRuntime directly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/task.h"
+#include "fpga/params.h"
+#include "runtime/board_runtime.h"
+#include "runtime/policy.h"
+
+namespace vs::test {
+
+/// Builds an n-task app where every task has the given per-item latency and
+/// a small resource footprint (always fits any slot).
+inline apps::AppSpec make_uniform_app(const std::string& name, int n_tasks,
+                                      sim::SimDuration item_latency,
+                                      const fpga::BoardParams& params = {}) {
+  apps::AppSpec app;
+  app.name = name;
+  for (int i = 0; i < n_tasks; ++i) {
+    apps::TaskSpec t;
+    t.index = i;
+    t.name = "t" + std::to_string(i);
+    t.synth_usage = {10'000, 20'000, 16, 32};
+    t.impl_usage = {6'000, 12'000, 16, 32};
+    t.item_latency = item_latency;
+    t.item_bytes_in = 100'000;
+    t.item_bytes_out = 50'000;
+    t.bitstream_bytes = params.little_bitstream_bytes;
+    app.tasks.push_back(t);
+  }
+  return app;
+}
+
+/// A policy whose pass behaviour is provided by the test as a callback.
+/// Useful for driving the runtime into precise states.
+class ScriptedPolicy final : public runtime::SchedulerPolicy {
+ public:
+  using PassFn = std::function<void(runtime::BoardRuntime&)>;
+
+  explicit ScriptedPolicy(PassFn on_pass = nullptr, bool dual = false)
+      : on_pass_(std::move(on_pass)), dual_(dual) {}
+
+  [[nodiscard]] const char* name() const override { return "scripted"; }
+  [[nodiscard]] bool dual_core() const override { return dual_; }
+  void on_app_submitted(runtime::BoardRuntime&, int) override {}
+  void on_pass(runtime::BoardRuntime& rt) override {
+    if (on_pass_) on_pass_(rt);
+  }
+  void set_pass(PassFn fn) { on_pass_ = std::move(fn); }
+
+ private:
+  PassFn on_pass_;
+  bool dual_;
+};
+
+/// Policy that greedily places every pending unit into any idle slot of the
+/// right kind (no allocation limits) — the simplest complete scheduler.
+class GreedyPolicy final : public runtime::SchedulerPolicy {
+ public:
+  explicit GreedyPolicy(bool dual = true) : dual_(dual) {}
+  [[nodiscard]] const char* name() const override { return "greedy"; }
+  [[nodiscard]] bool dual_core() const override { return dual_; }
+  void on_app_submitted(runtime::BoardRuntime&, int) override {}
+  void on_pass(runtime::BoardRuntime& rt) override {
+    for (const runtime::AppRun& a : rt.apps()) {
+      if (a.spec == nullptr || a.done()) continue;
+      for (const runtime::UnitRun& u : a.units) {
+        if (u.state != runtime::UnitState::kPending) continue;
+        auto idle = rt.idle_slots(u.spec.slot_kind);
+        if (idle.empty()) return;
+        int unit_index = static_cast<int>(&u - a.units.data());
+        rt.request_pr(a.id, unit_index, idle.front());
+      }
+    }
+  }
+
+ private:
+  bool dual_;
+};
+
+}  // namespace vs::test
