@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bundling"
+  "../bench/ablation_bundling.pdb"
+  "CMakeFiles/ablation_bundling.dir/ablation_bundling.cpp.o"
+  "CMakeFiles/ablation_bundling.dir/ablation_bundling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cluster_scale"
+  "../bench/ext_cluster_scale.pdb"
+  "CMakeFiles/ext_cluster_scale.dir/ext_cluster_scale.cpp.o"
+  "CMakeFiles/ext_cluster_scale.dir/ext_cluster_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dml_comparison"
+  "../bench/ext_dml_comparison.pdb"
+  "CMakeFiles/ext_dml_comparison.dir/ext_dml_comparison.cpp.o"
+  "CMakeFiles/ext_dml_comparison.dir/ext_dml_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dml_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

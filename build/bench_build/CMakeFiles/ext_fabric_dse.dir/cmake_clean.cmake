@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fabric_dse"
+  "../bench/ext_fabric_dse.pdb"
+  "CMakeFiles/ext_fabric_dse.dir/ext_fabric_dse.cpp.o"
+  "CMakeFiles/ext_fabric_dse.dir/ext_fabric_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fabric_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_quality"
+  "../bench/ext_quality.pdb"
+  "CMakeFiles/ext_quality.dir/ext_quality.cpp.o"
+  "CMakeFiles/ext_quality.dir/ext_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

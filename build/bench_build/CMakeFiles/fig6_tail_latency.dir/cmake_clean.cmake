@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_tail_latency"
+  "../bench/fig6_tail_latency.pdb"
+  "CMakeFiles/fig6_tail_latency.dir/fig6_tail_latency.cpp.o"
+  "CMakeFiles/fig6_tail_latency.dir/fig6_tail_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_switching"
+  "../bench/fig8_switching.pdb"
+  "CMakeFiles/fig8_switching.dir/fig8_switching.cpp.o"
+  "CMakeFiles/fig8_switching.dir/fig8_switching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_migration.dir/cluster_migration.cpp.o"
+  "CMakeFiles/cluster_migration.dir/cluster_migration.cpp.o.d"
+  "cluster_migration"
+  "cluster_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

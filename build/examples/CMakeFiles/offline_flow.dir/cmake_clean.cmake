@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_flow.dir/offline_flow.cpp.o"
+  "CMakeFiles/offline_flow.dir/offline_flow.cpp.o.d"
+  "offline_flow"
+  "offline_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

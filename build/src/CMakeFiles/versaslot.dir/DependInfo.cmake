@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/benchmarks.cpp" "src/CMakeFiles/versaslot.dir/apps/benchmarks.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/apps/benchmarks.cpp.o.d"
+  "/root/repo/src/apps/bundling.cpp" "src/CMakeFiles/versaslot.dir/apps/bundling.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/apps/bundling.cpp.o.d"
+  "/root/repo/src/apps/offline_flow.cpp" "src/CMakeFiles/versaslot.dir/apps/offline_flow.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/apps/offline_flow.cpp.o.d"
+  "/root/repo/src/apps/synthesis.cpp" "src/CMakeFiles/versaslot.dir/apps/synthesis.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/apps/synthesis.cpp.o.d"
+  "/root/repo/src/baselines/baseline_exclusive.cpp" "src/CMakeFiles/versaslot.dir/baselines/baseline_exclusive.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/baselines/baseline_exclusive.cpp.o.d"
+  "/root/repo/src/baselines/dml.cpp" "src/CMakeFiles/versaslot.dir/baselines/dml.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/baselines/dml.cpp.o.d"
+  "/root/repo/src/baselines/fcfs.cpp" "src/CMakeFiles/versaslot.dir/baselines/fcfs.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/baselines/fcfs.cpp.o.d"
+  "/root/repo/src/baselines/nimblock.cpp" "src/CMakeFiles/versaslot.dir/baselines/nimblock.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/baselines/nimblock.cpp.o.d"
+  "/root/repo/src/baselines/policy_common.cpp" "src/CMakeFiles/versaslot.dir/baselines/policy_common.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/baselines/policy_common.cpp.o.d"
+  "/root/repo/src/baselines/round_robin.cpp" "src/CMakeFiles/versaslot.dir/baselines/round_robin.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/baselines/round_robin.cpp.o.d"
+  "/root/repo/src/cluster/aurora.cpp" "src/CMakeFiles/versaslot.dir/cluster/aurora.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/cluster/aurora.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/versaslot.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/core/versaslot_policy.cpp" "src/CMakeFiles/versaslot.dir/core/versaslot_policy.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/core/versaslot_policy.cpp.o.d"
+  "/root/repo/src/fpga/fabric.cpp" "src/CMakeFiles/versaslot.dir/fpga/fabric.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/fpga/fabric.cpp.o.d"
+  "/root/repo/src/fpga/pcap.cpp" "src/CMakeFiles/versaslot.dir/fpga/pcap.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/fpga/pcap.cpp.o.d"
+  "/root/repo/src/metrics/experiment.cpp" "src/CMakeFiles/versaslot.dir/metrics/experiment.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/metrics/experiment.cpp.o.d"
+  "/root/repo/src/metrics/quality.cpp" "src/CMakeFiles/versaslot.dir/metrics/quality.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/metrics/quality.cpp.o.d"
+  "/root/repo/src/runtime/board_runtime.cpp" "src/CMakeFiles/versaslot.dir/runtime/board_runtime.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/runtime/board_runtime.cpp.o.d"
+  "/root/repo/src/runtime/invariants.cpp" "src/CMakeFiles/versaslot.dir/runtime/invariants.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/runtime/invariants.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/CMakeFiles/versaslot.dir/sim/core.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/sim/core.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/versaslot.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/versaslot.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/versaslot.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/CMakeFiles/versaslot.dir/sim/trace_export.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/sim/trace_export.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/versaslot.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/versaslot.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/versaslot.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/versaslot.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/versaslot.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/versaslot.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/CMakeFiles/versaslot.dir/workload/patterns.cpp.o" "gcc" "src/CMakeFiles/versaslot.dir/workload/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

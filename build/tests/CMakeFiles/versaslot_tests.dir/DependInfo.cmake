@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/cli_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/contracts_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/contracts_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/contracts_test.cpp.o.d"
+  "/root/repo/tests/dswitch_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/dswitch_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/dswitch_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fpga_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/fpga_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/fpga_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/offline_flow_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/offline_flow_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/offline_flow_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/regression_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/sensitivity_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/streaming_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/streaming_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/versaslot_test.cpp" "tests/CMakeFiles/versaslot_tests.dir/versaslot_test.cpp.o" "gcc" "tests/CMakeFiles/versaslot_tests.dir/versaslot_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/versaslot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
