@@ -13,12 +13,16 @@
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   apps::SynthesisModel model;
@@ -60,18 +64,28 @@ int main() {
 
   util::Table sizes({"bundle size", "apps bundleable", "mean ms", "P95 ms",
                      "PRs", "PR-blocked"});
-  for (int size : {2, 3, 4}) {
+  // (bundle size × sequence) sweep, reduced per size in grid order.
+  const int bundle_sizes[] = {2, 3, 4};
+  std::vector<metrics::SweepJob> size_grid;
+  for (int size : bundle_sizes) {
+    metrics::RunOptions options;
+    options.vs_options.bundle_size = size;
+    for (const auto& seq : sequences) {
+      size_grid.push_back(metrics::SweepJob{
+          metrics::SystemKind::kVersaBigLittle, seq, options});
+    }
+  }
+  auto size_cells = runner.run(suite, size_grid);
+  std::size_t size_cursor = 0;
+  for (int size : bundle_sizes) {
     int bundleable = 0;
     for (const apps::AppSpec& app : suite) {
       bundleable += apps::can_bundle(app, params, model, size);
     }
-    metrics::RunOptions options;
-    options.vs_options.bundle_size = size;
     std::vector<double> pooled;
     std::int64_t prs = 0, blocked = 0;
-    for (const auto& seq : sequences) {
-      auto r = metrics::run_single_board(
-          metrics::SystemKind::kVersaBigLittle, suite, seq, options);
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      const auto& r = size_cells[size_cursor++];
       pooled.insert(pooled.end(), r.response_ms.begin(),
                     r.response_ms.end());
       prs += r.counters.pr_requests;
@@ -105,13 +119,21 @@ int main() {
       {"always serial", apps::BundleMode::kSerial},
   };
   util::Table modes_table({"selection", "mean ms", "P95 ms"});
+  std::vector<metrics::SweepJob> mode_grid;
   for (const ModeVariant& v : variants) {
     metrics::RunOptions options;
     options.vs_options.forced_bundle_mode = v.forced;
-    std::vector<double> pooled;
     for (const auto& seq : sequences) {
-      auto r = metrics::run_single_board(
-          metrics::SystemKind::kVersaBigLittle, suite, seq, options);
+      mode_grid.push_back(metrics::SweepJob{
+          metrics::SystemKind::kVersaBigLittle, seq, options});
+    }
+  }
+  auto mode_cells = runner.run(suite, mode_grid);
+  std::size_t mode_cursor = 0;
+  for (const ModeVariant& v : variants) {
+    std::vector<double> pooled;
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      const auto& r = mode_cells[mode_cursor++];
       pooled.insert(pooled.end(), r.response_ms.begin(),
                     r.response_ms.end());
     }

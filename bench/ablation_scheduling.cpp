@@ -6,10 +6,13 @@
 //   - redistribution of leftover Little slots
 //   - rebinding of waiting Little apps to freed Big slots
 // Reported: mean / P95 response time over 5 pooled sequences.
+// The (variant × congestion × sequence) grid runs on metrics::SweepRunner
+// (--jobs N / VS_JOBS) with deterministic grid-order reduction.
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
@@ -25,8 +28,11 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
@@ -58,19 +64,29 @@ int main() {
     config.apps_per_sequence = 20;
     auto sequences = workload::generate_sequences(config, 5, 2025);
 
-    std::cout << "-- " << workload::congestion_name(congestion)
-              << " arrivals --\n";
-    util::Table table({"variant", "mean ms", "P95 ms", "launch-blocked",
-                       "preempt"});
+    // One sweep job per (variant, sequence); reduced below in grid order.
+    std::vector<metrics::SweepJob> grid;
     for (const Variant& v : variants) {
       metrics::RunOptions options;
       options.vs_options.dual_core = v.dual_core;
       options.vs_options.enable_redistribution = v.redistribution;
       options.vs_options.enable_rebinding = v.rebinding;
+      for (const auto& seq : sequences) {
+        grid.push_back(metrics::SweepJob{v.kind, seq, options});
+      }
+    }
+    auto cells = runner.run(suite, grid);
+
+    std::cout << "-- " << workload::congestion_name(congestion)
+              << " arrivals --\n";
+    util::Table table({"variant", "mean ms", "P95 ms", "launch-blocked",
+                       "preempt"});
+    std::size_t cursor = 0;
+    for (const Variant& v : variants) {
       std::vector<double> pooled;
       std::int64_t launch_blocked = 0, preempt = 0;
-      for (const auto& seq : sequences) {
-        auto r = metrics::run_single_board(v.kind, suite, seq, options);
+      for (std::size_t s = 0; s < sequences.size(); ++s) {
+        const auto& r = cells[cursor++];
         pooled.insert(pooled.end(), r.response_ms.begin(),
                       r.response_ms.end());
         launch_blocked += r.counters.launch_blocked;

@@ -6,9 +6,11 @@
 // included to demonstrate why the hysteresis exists: without it, samples
 // oscillating around the single threshold cause switch thrashing.
 #include <iostream>
+#include <iterator>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
@@ -33,8 +35,11 @@ vs::workload::Sequence make_long_workload(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
@@ -48,20 +53,30 @@ int main() {
       {0.030, 0.030},  // degenerate: no buffer zone
       {0.030, 0.001},  // very wide hysteresis
   };
+  constexpr std::size_t kPoints = std::size(points);
 
   std::cout << "=== Ablation: switch-loop thresholds (90-app oscillating "
                "workload) ===\n\n";
   util::Table table({"T1", "T2", "switches", "migrated apps", "overhead ms",
                      "mean ms"});
-  cluster::ClusterOptions off;
-  off.enable_switching = false;
-  auto baseline = metrics::run_cluster(suite, seq, off);
+  // Cluster replicas are independent too; shard the threshold points plus
+  // the switching-off baseline (index kPoints) across the sweep workers.
+  auto cluster_cells = runner.map<metrics::ClusterRunResult>(
+      kPoints + 1, [&](std::size_t i) {
+        cluster::ClusterOptions options;
+        if (i == kPoints) {
+          options.enable_switching = false;
+        } else {
+          options.t1 = points[i].t1;
+          options.t2 = points[i].t2;
+        }
+        return metrics::run_cluster(suite, seq, options);
+      });
+  const auto& baseline = cluster_cells[kPoints];
 
-  for (const Point& p : points) {
-    cluster::ClusterOptions options;
-    options.t1 = p.t1;
-    options.t2 = p.t2;
-    auto r = metrics::run_cluster(suite, seq, options);
+  for (std::size_t pi = 0; pi < kPoints; ++pi) {
+    const Point& p = points[pi];
+    const auto& r = cluster_cells[pi];
     double overhead = 0;
     int migrated = 0;
     for (const auto& e : r.switches) {

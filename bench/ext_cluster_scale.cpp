@@ -5,15 +5,23 @@
 // least-loaded dispatcher and measures how mean/P95 response under a
 // saturating workload responds — quantifying how far the cross-board
 // switching architecture carries before plain horizontal scaling dominates.
+// The (boards × switching × sequence) cluster grid runs on
+// metrics::SweepRunner::map (--jobs N / VS_JOBS) with index-keyed results,
+// so the table is identical for any worker count.
 #include <iostream>
+#include <iterator>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
@@ -27,15 +35,28 @@ int main() {
                "sequences pooled) ===\n\n";
   util::Table table({"boards/config", "switching", "mean ms", "P95 ms",
                      "switches", "done"});
-  for (int boards : {1, 2, 3, 4}) {
-    for (bool switching : {false, true}) {
+  // Flat (boards, switching, sequence) grid; each cell is an independent
+  // cluster replica keyed by index for the ordered reduction below.
+  const int board_counts[] = {1, 2, 3, 4};
+  const bool switch_modes[] = {false, true};
+  const std::size_t n_seqs = sequences.size();
+  auto cells = runner.map<metrics::ClusterRunResult>(
+      std::size(board_counts) * std::size(switch_modes) * n_seqs,
+      [&](std::size_t i) {
+        cluster::ClusterOptions options;
+        options.boards_per_config =
+            board_counts[i / (std::size(switch_modes) * n_seqs)];
+        options.enable_switching =
+            switch_modes[(i / n_seqs) % std::size(switch_modes)];
+        return metrics::run_cluster(suite, sequences[i % n_seqs], options);
+      });
+  std::size_t cursor = 0;
+  for (int boards : board_counts) {
+    for (bool switching : switch_modes) {
       std::vector<double> pooled;
       int switches = 0, done = 0, submitted = 0;
-      for (const auto& seq : sequences) {
-        cluster::ClusterOptions options;
-        options.boards_per_config = boards;
-        options.enable_switching = switching;
-        auto r = metrics::run_cluster(suite, seq, options);
+      for (std::size_t si = 0; si < n_seqs; ++si) {
+        const auto& r = cells[cursor++];
         pooled.insert(pooled.end(), r.response_ms.begin(),
                       r.response_ms.end());
         switches += static_cast<int>(r.switches.size());

@@ -7,15 +7,21 @@
 // policy on each, across Standard and Stress arrivals — answering which
 // mix of slot sizes serves mixed workloads best and whether the paper's
 // 2B+4L choice is on the frontier.
+// The (congestion × fabric × sequence) grid runs on metrics::SweepRunner
+// (--jobs N / VS_JOBS) with deterministic grid-order reduction.
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
@@ -66,6 +72,8 @@ int main() {
               << " arrivals --\n";
     util::Table table({"fabric", "mean ms", "P95 ms", "PRs", "PR-blocked",
                        "done"});
+    // One sweep job per (fabric, sequence), reduced per fabric in order.
+    std::vector<metrics::SweepJob> grid;
     for (const fpga::FabricConfig& fabric : configs) {
       metrics::RunOptions options;
       options.fabric = fabric;
@@ -73,11 +81,18 @@ int main() {
       metrics::SystemKind kind = fabric.big_slots > 0
                                      ? metrics::SystemKind::kVersaBigLittle
                                      : metrics::SystemKind::kVersaOnlyLittle;
+      for (const auto& seq : sequences) {
+        grid.push_back(metrics::SweepJob{kind, seq, options});
+      }
+    }
+    auto cells = runner.run(suite, grid);
+    std::size_t cursor = 0;
+    for (const fpga::FabricConfig& fabric : configs) {
       std::vector<double> pooled;
       std::int64_t prs = 0, blocked = 0;
       int done = 0, submitted = 0;
-      for (const auto& seq : sequences) {
-        auto r = metrics::run_single_board(kind, suite, seq, options);
+      for (std::size_t si = 0; si < sequences.size(); ++si) {
+        const auto& r = cells[cursor++];
         pooled.insert(pooled.end(), r.response_ms.begin(),
                       r.response_ms.end());
         prs += r.counters.pr_requests;

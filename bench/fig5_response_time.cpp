@@ -6,13 +6,19 @@
 // each, batch sizes U[5,30], drawn from the five-app suite. Reported values
 // are means over the pooled per-app response times of the 10 sequences.
 //
+// The (congestion × system × sequence) grid runs on metrics::SweepRunner:
+// every replica is an independent simulator, results are reduced in fixed
+// grid order, so the tables and CSV are byte-identical for any --jobs N
+// (also settable via VS_JOBS; defaults to hardware concurrency).
+//
 // Output: one table per congestion condition (absolute ms and the paper's
 // "x-times lower than baseline" normalisation) plus the paper's headline
 // anchor ratios; series also exported to fig5_response_time.csv.
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "workload/generator.h"
@@ -25,15 +31,38 @@ constexpr int kAppsPerSequence = 20;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
 
   std::cout << "=== Fig 5: relative response time reduction vs baseline ===\n"
             << kSequences << " sequences x " << kAppsPerSequence
-            << " apps, batch U[5,30], master seed " << kMasterSeed << "\n\n";
+            << " apps, batch U[5,30], master seed " << kMasterSeed << " ("
+            << runner.jobs() << " worker thread(s))\n\n";
+
+  // One job per (congestion, system, sequence) cell, in that order; the
+  // reductions below index the same order, so output is independent of
+  // the worker count.
+  std::vector<metrics::SweepJob> grid;
+  for (int ci = 0; ci < workload::kCongestionCount; ++ci) {
+    workload::WorkloadConfig config;
+    config.congestion = static_cast<workload::Congestion>(ci);
+    config.apps_per_sequence = kAppsPerSequence;
+    auto sequences =
+        workload::generate_sequences(config, kSequences, kMasterSeed);
+    for (int k = 0; k < metrics::kSystemCount; ++k) {
+      for (const auto& seq : sequences) {
+        grid.push_back(metrics::SweepJob{
+            static_cast<metrics::SystemKind>(k), seq, {}});
+      }
+    }
+  }
+  auto cells = runner.run(suite, grid);
 
   util::CsvWriter csv("fig5_response_time.csv");
   csv.header({"congestion", "system", "mean_ms", "reduction_vs_baseline"});
@@ -42,23 +71,22 @@ int main() {
   double bl_vs_nimblock_best = 0;
   double bl_vs_ol_best = 0;
 
+  std::size_t cursor = 0;
   for (int ci = 0; ci < workload::kCongestionCount; ++ci) {
     auto congestion = static_cast<workload::Congestion>(ci);
-    workload::WorkloadConfig config;
-    config.congestion = congestion;
-    config.apps_per_sequence = kAppsPerSequence;
-    auto sequences =
-        workload::generate_sequences(config, kSequences, kMasterSeed);
 
     std::vector<metrics::AggregateResult> results;
     std::vector<util::RunningStats> seq_means(
         static_cast<std::size_t>(metrics::kSystemCount));
     for (int k = 0; k < metrics::kSystemCount; ++k) {
       auto kind = static_cast<metrics::SystemKind>(k);
-      results.push_back(metrics::aggregate(kind, suite, sequences));
+      std::vector<metrics::RunResult> per_seq(
+          cells.begin() + static_cast<std::ptrdiff_t>(cursor),
+          cells.begin() + static_cast<std::ptrdiff_t>(cursor + kSequences));
+      cursor += kSequences;
+      results.push_back(metrics::reduce_aggregate(kind, per_seq));
       // Per-sequence means for the between-sequence spread.
-      for (const auto& seq : sequences) {
-        auto r = metrics::run_single_board(kind, suite, seq);
+      for (const auto& r : per_seq) {
         seq_means[static_cast<std::size_t>(k)].add(r.response.mean);
       }
     }

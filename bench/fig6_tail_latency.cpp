@@ -6,10 +6,14 @@
 // congestion conditions (by 83%/46% under stress and 56%/48% under
 // real-time), while P99 may slightly trail the variance-free exclusive
 // baseline.
+// The (congestion × system × sequence) grid runs on metrics::SweepRunner
+// (--jobs N / VS_JOBS); reduction order is fixed, so the CSV is
+// byte-identical for any worker count.
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "workload/generator.h"
@@ -22,13 +26,17 @@ constexpr int kAppsPerSequence = 20;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
 
-  std::cout << "=== Fig 6: tail response time normalised to baseline ===\n\n";
+  std::cout << "=== Fig 6: tail response time normalised to baseline ===\n"
+            << "(" << runner.jobs() << " worker thread(s))\n\n";
   util::CsvWriter csv("fig6_tail_latency.csv");
   csv.header({"congestion", "system", "p95_ms", "p99_ms", "p95_vs_baseline",
               "p99_vs_baseline"});
@@ -41,10 +49,23 @@ int main() {
     auto sequences =
         workload::generate_sequences(config, kSequences, kMasterSeed);
 
+    // All six systems' replicas for this congestion level in one sweep.
+    std::vector<metrics::SweepJob> grid;
+    for (int k = 0; k < metrics::kSystemCount; ++k) {
+      for (const auto& seq : sequences) {
+        grid.push_back(metrics::SweepJob{
+            static_cast<metrics::SystemKind>(k), seq, {}});
+      }
+    }
+    auto cells = runner.run(suite, grid);
+
     std::vector<metrics::AggregateResult> results;
     for (int k = 0; k < metrics::kSystemCount; ++k) {
-      results.push_back(metrics::aggregate(
-          static_cast<metrics::SystemKind>(k), suite, sequences));
+      std::vector<metrics::RunResult> per_seq(
+          cells.begin() + static_cast<std::ptrdiff_t>(k * kSequences),
+          cells.begin() + static_cast<std::ptrdiff_t>((k + 1) * kSequences));
+      results.push_back(metrics::reduce_aggregate(
+          static_cast<metrics::SystemKind>(k), per_seq));
     }
     const auto& base = results[0];
     const auto& nim = results[3];

@@ -15,13 +15,17 @@
 
 #include "apps/benchmarks.h"
 #include "apps/bundling.h"
-#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
 
   fpga::BoardParams params;
   apps::SynthesisModel model;
@@ -129,12 +133,20 @@ int main() {
   config.congestion = workload::Congestion::kStress;
   config.apps_per_sequence = 20;
   auto sequences = workload::generate_sequences(config, 3, 2025);
-  double bl_lut = 0, ol_lut = 0, bl_ff = 0, ol_ff = 0;
+  // Both systems' replicas shard across the sweep workers; the fixed
+  // (sequence, system) job order keeps the reduction deterministic.
+  std::vector<metrics::SweepJob> grid;
   for (const auto& seq : sequences) {
-    auto bl = metrics::run_single_board(metrics::SystemKind::kVersaBigLittle,
-                                        suite, seq);
-    auto ol = metrics::run_single_board(metrics::SystemKind::kVersaOnlyLittle,
-                                        suite, seq);
+    grid.push_back(
+        metrics::SweepJob{metrics::SystemKind::kVersaBigLittle, seq, {}});
+    grid.push_back(
+        metrics::SweepJob{metrics::SystemKind::kVersaOnlyLittle, seq, {}});
+  }
+  auto cells = runner.run(suite, grid);
+  double bl_lut = 0, ol_lut = 0, bl_ff = 0, ol_ff = 0;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const auto& bl = cells[2 * i];
+    const auto& ol = cells[2 * i + 1];
     bl_lut += bl.utilization.lut_of_occupied() / 3;
     ol_lut += ol.utilization.lut_of_occupied() / 3;
     bl_ff += bl.utilization.ff_of_occupied() / 3;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository check gate: the tier-1 build + full test suite, then a
+# ThreadSanitizer pass over the parallel sweep runner (the only
+# multi-threaded code in the repo) to prove the replica sharding is
+# race-free. Run from the repository root:
+#
+#   scripts/check.sh            # tier-1 + TSan sweep tests
+#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== ThreadSanitizer: sweep runner =="
+  cmake -B build-tsan -S . -DVS_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target versaslot_tests
+  # halt_on_error so any reported race fails the gate loudly.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/versaslot_tests \
+    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*'
+fi
+
+echo "== all checks passed =="

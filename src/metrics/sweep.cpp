@@ -1,0 +1,54 @@
+#include "metrics/sweep.h"
+
+namespace vs::metrics {
+
+std::vector<RunResult> SweepRunner::run(
+    const std::vector<apps::AppSpec>& suite,
+    const std::vector<SweepJob>& sweep) const {
+  return map<RunResult>(sweep.size(), [&](std::size_t i) {
+    const SweepJob& job = sweep[i];
+    return run_single_board(job.kind, suite, job.sequence, job.options);
+  });
+}
+
+AggregateResult SweepRunner::aggregate(
+    SystemKind kind, const std::vector<apps::AppSpec>& suite,
+    const std::vector<workload::Sequence>& sequences,
+    const RunOptions& options) const {
+  std::vector<SweepJob> sweep;
+  sweep.reserve(sequences.size());
+  for (const workload::Sequence& seq : sequences) {
+    sweep.push_back(SweepJob{kind, seq, options});
+  }
+  return reduce_aggregate(kind, run(suite, sweep));
+}
+
+AggregateResult reduce_aggregate(SystemKind kind,
+                                 const std::vector<RunResult>& per_sequence) {
+  AggregateResult agg;
+  agg.system = system_name(kind);
+  for (const RunResult& r : per_sequence) {
+    agg.all_responses_ms.insert(agg.all_responses_ms.end(),
+                                r.response_ms.begin(), r.response_ms.end());
+  }
+  util::Summary s = util::summarize(agg.all_responses_ms);
+  agg.mean_response_ms = s.mean;
+  agg.p95_ms = s.p95;
+  agg.p99_ms = s.p99;
+  return agg;
+}
+
+std::vector<RunResult> run_sweep(const std::vector<apps::AppSpec>& suite,
+                                 const std::vector<SweepJob>& sweep,
+                                 int jobs) {
+  return SweepRunner(jobs).run(suite, sweep);
+}
+
+AggregateResult parallel_aggregate(
+    SystemKind kind, const std::vector<apps::AppSpec>& suite,
+    const std::vector<workload::Sequence>& sequences,
+    const RunOptions& options, int jobs) {
+  return SweepRunner(jobs).aggregate(kind, suite, sequences, options);
+}
+
+}  // namespace vs::metrics

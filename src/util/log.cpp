@@ -1,12 +1,16 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
 namespace vs::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so parallel sweep replicas (util/thread_pool) can consult the
+// level concurrently without a data race; writes remain rare main-thread
+// configuration.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::function<std::int64_t()> g_time_source;
 std::mutex g_mutex;
 
@@ -22,8 +26,12 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
-LogLevel Log::level() noexcept { return g_level; }
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void Log::set_time_source(std::function<std::int64_t()> source) {
   std::lock_guard lock(g_mutex);
