@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Substrate perf trajectory: builds and runs the event-kernel
+# micro-benchmarks and records the results in BENCH_substrate.json
+# (google-benchmark JSON format; the `allocs_per_event` counter must be 0 —
+# the kernel's zero-allocation contract).
+#
+#   scripts/bench_substrate.sh          # 3 repetitions, aggregates only
+#   REPS=1 scripts/bench_substrate.sh   # quick single pass
+#
+# Reference numbers on the original std::function + binary-heap kernel
+# (container baseline, PR 2): BM_EventQueueScheduleAndPop/1000 12.8M
+# events/s, /10000 6.9M events/s, BM_SimulatorEventRate 26.7M events/s,
+# allocations >= 1 per event. The slab + InlineEvent kernel must hold
+# >= 1.5x those rates at 0 allocations per steady-state event.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+REPS="${REPS:-3}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target micro_substrate >/dev/null
+
+./build/bench/micro_substrate \
+  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_PcapQueueing' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_substrate.json \
+  --benchmark_out_format=json
+
+echo
+echo "Recorded to BENCH_substrate.json"

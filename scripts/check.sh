@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Repository check gate: the tier-1 build + full test suite, then a
-# ThreadSanitizer pass over the parallel sweep runner (the only
-# multi-threaded code in the repo) to prove the replica sharding is
-# race-free. Run from the repository root:
+# Repository check gate: the tier-1 build + full test suite, a smoke run of
+# the substrate micro-benchmarks (which carry the event kernel's
+# zero-allocation probe), then sanitizer passes: ThreadSanitizer over the
+# parallel sweep runner (the only multi-threaded code in the repo) and
+# AddressSanitizer over the event-kernel tests (the slab queue and
+# InlineEvent do placement-new lifetime management by hand).
+# Run from the repository root:
 #
-#   scripts/check.sh            # tier-1 + TSan sweep tests
-#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only
+#   scripts/check.sh              # everything
+#   SKIP_TSAN=1 scripts/check.sh  # skip the TSan pass
+#   SKIP_ASAN=1 scripts/check.sh  # skip the ASan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +20,12 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== substrate micro-bench smoke (zero-alloc probe) =="
+cmake --build build -j "$JOBS" --target micro_substrate
+./build/bench/micro_substrate \
+  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate' \
+  --benchmark_min_time=0.01
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== ThreadSanitizer: sweep runner =="
   cmake -B build-tsan -S . -DVS_SANITIZE=thread
@@ -24,6 +34,14 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/versaslot_tests \
     --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*'
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== AddressSanitizer: event kernel =="
+  cmake -B build-asan -S . -DVS_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" --target versaslot_tests
+  ./build-asan/tests/versaslot_tests \
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*'
 fi
 
 echo "== all checks passed =="

@@ -17,16 +17,21 @@ void AuroraLink::start(Pending p) {
   busy_ = true;
   ++transfers_;
   bytes_ += p.bytes;
-  sim_.schedule(params_.transfer_time(p.bytes),
-                [this, done = std::move(p.on_done)]() mutable {
-                  busy_ = false;
-                  if (done) done();
-                  if (!busy_ && !queue_.empty()) {
-                    Pending next = std::move(queue_.front());
-                    queue_.pop_front();
-                    start(std::move(next));
-                  }
-                });
+  sim::SimDuration t = params_.transfer_time(p.bytes);
+  current_ = std::move(p);
+  sim_.schedule(t, [this] { finish_transfer(); });
+}
+
+void AuroraLink::finish_transfer() {
+  // Move out first: on_done may start another transfer re-entrantly.
+  Pending done = std::move(current_);
+  busy_ = false;
+  if (done.on_done) done.on_done();
+  if (!busy_ && !queue_.empty()) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
 }
 
 }  // namespace vs::cluster

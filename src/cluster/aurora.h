@@ -28,14 +28,18 @@ class AuroraLink {
 
  private:
   struct Pending {
-    std::int64_t bytes;
+    std::int64_t bytes = 0;
     sim::EventFn on_done;
   };
   void start(Pending p);
+  void finish_transfer();
 
   sim::Simulator& sim_;
   fpga::LinkParams params_;
   std::deque<Pending> queue_;
+  // In-flight transfer: the link is serial, so the completion event
+  // captures only `this` and stays in the event queue's inline buffer.
+  Pending current_;
   bool busy_ = false;
   std::int64_t transfers_ = 0;
   std::int64_t bytes_ = 0;

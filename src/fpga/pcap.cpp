@@ -24,33 +24,39 @@ void Pcap::start(Request req) {
   stats_.total_load += req.duration;
   sim::SimDuration duration = req.duration;
   sim::Core& core = *req.core;
+  // The "pcap:" prefix is functional — BoardRuntime::kick() detects a
+  // suspended scheduler core by it. The suffix is cosmetic and empty when
+  // tracing is off, so this concatenation stays within SSO.
   std::string label = "pcap:" + req.label;
+  current_ = std::move(req);
   // The load suspends the issuing core: it is a core operation of the full
   // load duration. Note: if the core is itself mid-operation, the load (and
   // thus the PCAP) effectively starts when the core frees up — matching the
   // real flow where the CPU drives the PCAP transfer.
-  core.submit(
-      duration,
-      [this, req = std::move(req)]() mutable {
-        if (failure_probability_ > 0 &&
-            rng_.bernoulli(failure_probability_)) {
-          // Verification failed: reload immediately, ahead of the queue.
-          ++stats_.load_failures;
-          req.enqueued = sim_.now();
-          busy_ = false;
-          start(std::move(req));
-          return;
-        }
-        ++stats_.loads_completed;
-        busy_ = false;
-        if (req.on_done) req.on_done();
-        if (!busy_ && !queue_.empty()) {
-          Request next = std::move(queue_.front());
-          queue_.pop_front();
-          start(std::move(next));
-        }
-      },
-      label);
+  core.submit(duration, [this] { finish_load(); }, std::move(label));
+}
+
+void Pcap::finish_load() {
+  if (failure_probability_ > 0 && rng_.bernoulli(failure_probability_)) {
+    // Verification failed: reload immediately, ahead of the queue.
+    ++stats_.load_failures;
+    Request retry = std::move(current_);
+    retry.enqueued = sim_.now();
+    busy_ = false;
+    start(std::move(retry));
+    return;
+  }
+  ++stats_.loads_completed;
+  // Move out first: on_done may request another load re-entrantly, which
+  // would overwrite current_.
+  Request done = std::move(current_);
+  busy_ = false;
+  if (done.on_done) done.on_done();
+  if (!busy_ && !queue_.empty()) {
+    Request next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
 }
 
 }  // namespace vs::fpga

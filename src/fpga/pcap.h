@@ -57,17 +57,22 @@ class Pcap {
 
  private:
   struct Request {
-    sim::SimDuration duration;
-    sim::Core* core;
+    sim::SimDuration duration = 0;
+    sim::Core* core = nullptr;
     sim::EventFn on_done;
     std::string label;
-    sim::SimTime enqueued;
+    sim::SimTime enqueued = 0;
   };
 
   void start(Request req);
+  void finish_load();
 
   sim::Simulator& sim_;
   std::deque<Request> queue_;
+  // The in-flight request. The PCAP is a serial device, so the core-op
+  // completion closure captures only `this` and the request parks here —
+  // keeping the closure inside the event queue's inline buffer.
+  Request current_;
   bool busy_ = false;
   Stats stats_;
   double failure_probability_ = 0.0;

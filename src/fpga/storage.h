@@ -101,24 +101,31 @@ class SdCard {
 
  private:
   struct Pending {
-    BitstreamKey key;
-    std::int64_t bytes;
+    BitstreamKey key = 0;
+    std::int64_t bytes = 0;
     sim::EventFn on_ready;
   };
 
   void start(Pending p) {
     busy_ = true;
-    sim_.schedule(params_.sd_read_time(p.bytes),
-                  [this, p = std::move(p)]() mutable {
-                    cache_.insert(p.key);
-                    busy_ = false;
-                    if (p.on_ready) p.on_ready();
-                    if (!busy_ && !queue_.empty()) {
-                      Pending next = std::move(queue_.front());
-                      queue_.pop_front();
-                      start(std::move(next));
-                    }
-                  });
+    sim::SimDuration read_time = params_.sd_read_time(p.bytes);
+    // The card is serial: park the in-flight read in current_ so the
+    // completion event captures only `this` (stays inline in the queue).
+    current_ = std::move(p);
+    sim_.schedule(read_time, [this] { finish_read(); });
+  }
+
+  void finish_read() {
+    cache_.insert(current_.key);
+    // Move out first: on_ready may fetch again re-entrantly.
+    Pending done = std::move(current_);
+    busy_ = false;
+    if (done.on_ready) done.on_ready();
+    if (!busy_ && !queue_.empty()) {
+      Pending next = std::move(queue_.front());
+      queue_.pop_front();
+      start(std::move(next));
+    }
   }
 
   sim::Simulator& sim_;
@@ -126,6 +133,7 @@ class SdCard {
   std::unordered_set<BitstreamKey> cache_;
   std::unordered_set<BitstreamKey> content_;
   std::deque<Pending> queue_;
+  Pending current_;
   bool busy_ = false;
   std::int64_t misses_ = 0;
   std::int64_t relocations_ = 0;

@@ -144,24 +144,33 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
       board_.sdcard().fetch_time(key, content_key, u.spec.bitstream_bytes) +
       p.pcap_load_time(u.spec.bitstream_bytes);
   sim::Core& core = dual_core_ ? board_.pr_core() : board_.scheduler_core();
-  std::string label = a.spec->name + "#" + std::to_string(app_id) + ".u" +
-                      std::to_string(unit_index);
+  // Span labels are built only when tracing is on: benchmark runs must not
+  // pay for string formatting (or its allocations) per PR.
+  std::string label;
+  if (trace_.enabled()) {
+    label = a.spec->name + "#" + std::to_string(app_id) + ".u" +
+            std::to_string(unit_index);
+  }
   sim::SimTime requested = sim().now();
 
   board_.pcap().request(
       duration, core,
-      [this, app_id, unit_index, requested, label]() {
+      [this, app_id, unit_index, requested]() {
         AppRun& a2 = app(app_id);
         UnitRun& u2 = a2.units[static_cast<std::size_t>(unit_index)];
         touch_utilization();
         board_.slot(u2.slot).finish_reconfig();
         u2.state = UnitState::kRunning;
-        trace_.add(requested, sim().now(), board_.slot(u2.slot).name(),
-                   label + " PR", sim::SpanKind::kReconfig);
+        if (trace_.enabled()) {
+          trace_.add(requested, sim().now(), board_.slot(u2.slot).name(),
+                     a2.spec->name + "#" + std::to_string(app_id) + ".u" +
+                         std::to_string(unit_index) + " PR",
+                     sim::SpanKind::kReconfig);
+        }
         // The PR server notifies the scheduler through the OCM mailbox.
         board_.ocm().post([this] { kick(); });
       },
-      label,
+      std::move(label),
       [this, app_id, unit_index]() {
         UnitRun& blocked_unit =
             app(app_id).units[static_cast<std::size_t>(unit_index)];
@@ -203,12 +212,16 @@ void BoardRuntime::request_full_reconfig(int app_id) {
         AppRun& a2 = app(app_id);
         touch_utilization();
         for (UnitRun& u : a2.units) u.state = UnitState::kRunning;
-        trace_.add(requested, sim().now(), "fabric",
-                   a2.spec->name + "#" + std::to_string(app_id) + " full",
-                   sim::SpanKind::kReconfig);
+        if (trace_.enabled()) {
+          trace_.add(requested, sim().now(), "fabric",
+                     a2.spec->name + "#" + std::to_string(app_id) + " full",
+                     sim::SpanKind::kReconfig);
+        }
         kick();
       },
-      a.spec->name + "#" + std::to_string(app_id) + ".full");
+      trace_.enabled()
+          ? a.spec->name + "#" + std::to_string(app_id) + ".full"
+          : std::string{});
 }
 
 void BoardRuntime::preempt_unit(int app_id, int unit_index) {
@@ -385,14 +398,16 @@ void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
                                (item == 0 ? u2.spec.fill_latency : 0);
           sim::SimTime started = sim().now();
           sim().schedule(d, [this, app_id, unit_index, started, item] {
-            AppRun& a3 = app(app_id);
-            UnitRun& u3 = a3.units[static_cast<std::size_t>(unit_index)];
-            trace_.add(started, sim().now(),
-                       u3.slot >= 0 ? board_.slot(u3.slot).name() : "fabric",
-                       a3.spec->name + "#" + std::to_string(app_id) + ".u" +
-                           std::to_string(unit_index) + " B" +
-                           std::to_string(item + 1),
-                       sim::SpanKind::kExec);
+            if (trace_.enabled()) {
+              AppRun& a3 = app(app_id);
+              UnitRun& u3 = a3.units[static_cast<std::size_t>(unit_index)];
+              trace_.add(started, sim().now(),
+                         u3.slot >= 0 ? board_.slot(u3.slot).name() : "fabric",
+                         a3.spec->name + "#" + std::to_string(app_id) + ".u" +
+                             std::to_string(unit_index) + " B" +
+                             std::to_string(item + 1),
+                         sim::SpanKind::kExec);
+            }
             finish_item(app_id, unit_index);
           });
         });

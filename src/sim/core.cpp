@@ -26,17 +26,23 @@ void Core::start_next() {
   Op op = std::move(queue_.front());
   queue_.pop_front();
   busy_ = true;
-  current_label_ = op.label;
+  current_label_ = std::move(op.label);
   current_end_ = sim_.now() + op.duration;
   busy_time_ += op.duration;
-  sim_.schedule(op.duration, [this, done = std::move(op.on_done)]() mutable {
-    busy_ = false;
-    current_label_.clear();
-    if (done) done();
-    // The completion callback may have submitted more work and restarted the
-    // core already; only pull the next op if still idle.
-    if (!busy_ && !queue_.empty()) start_next();
-  });
+  current_done_ = std::move(op.on_done);
+  sim_.schedule(op.duration, [this] { finish_current(); });
+}
+
+void Core::finish_current() {
+  busy_ = false;
+  current_label_.clear();
+  // Move out first: the callback may submit more work and restart the core,
+  // which would overwrite current_done_.
+  EventFn done = std::move(current_done_);
+  if (done) done();
+  // The completion callback may have submitted more work and restarted the
+  // core already; only pull the next op if still idle.
+  if (!busy_ && !queue_.empty()) start_next();
 }
 
 }  // namespace vs::sim

@@ -54,6 +54,7 @@ class Core {
   };
 
   void start_next();
+  void finish_current();
 
   Simulator& sim_;
   std::string name_;
@@ -61,6 +62,10 @@ class Core {
   bool busy_ = false;
   SimTime current_end_ = 0;
   std::string current_label_;
+  // The in-flight op's completion callback. The core is serially busy, so
+  // parking it here lets the scheduled completion event capture only `this`
+  // and stay within the event queue's inline closure buffer.
+  EventFn current_done_;
   SimDuration busy_time_ = 0;
 };
 

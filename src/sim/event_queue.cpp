@@ -6,48 +6,112 @@
 namespace vs::sim {
 
 EventId EventQueue::schedule(SimTime when, EventFn fn) {
-  EventId id = next_id_++;
-  cancelled_.push_back(false);
-  heap_.push(Entry{when, id, std::move(fn)});
+  assert(fn && "scheduling an empty event");
+  std::uint32_t index = alloc_slot();
+  Slot& s = slab_[index];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  EventId id = (static_cast<EventId>(s.gen) << 32) | index;
+  heap_.push_back(Node{when, id});
+  sift_up(heap_.size() - 1);
   ++live_;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id < cancelled_.size() && !cancelled_[id]) {
-    cancelled_[id] = true;
-    if (live_ > 0) --live_;
-  }
-}
-
-void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) {
-    // const_cast is confined here: popping dead entries does not change the
-    // observable state of the queue.
-    const_cast<EventQueue*>(this)->heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const noexcept {
-  skip_cancelled();
-  return heap_.empty();
+  std::uint32_t index = slot_of(id);
+  if (index >= slab_.size()) return;
+  Slot& s = slab_[index];
+  // Generation mismatch: the event already fired (slot freed, possibly
+  // reused). Empty fn with matching generation: already cancelled. Either
+  // way the cancel is stale and must not touch live_.
+  if (s.gen != gen_of(id) || !s.fn) return;
+  s.fn.reset();  // release captures now; the heap node becomes a tombstone
+  --live_;
 }
 
 SimTime EventQueue::next_time() const {
-  skip_cancelled();
+  // Tombstone removal does not change the observable state of the queue;
+  // confine the const_cast here as the previous implementation did.
+  const_cast<EventQueue*>(this)->drop_tombstones();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skip_cancelled();
+  drop_tombstones();
   assert(!heap_.empty());
-  // priority_queue::top() returns const&; we need to move the closure out.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.fn)};
-  heap_.pop();
+  const Node root = heap_.front();
+  std::uint32_t index = slot_of(root.id);
+  Popped out{root.time, std::move(slab_[index].fn)};
+  free_slot(index);
+  pop_node();
   --live_;
   return out;
+}
+
+void EventQueue::drop_tombstones() {
+  while (!heap_.empty()) {
+    std::uint32_t index = slot_of(heap_.front().id);
+    if (slab_[index].fn) break;
+    free_slot(index);
+    pop_node();
+  }
+}
+
+void EventQueue::pop_node() noexcept {
+  assert(!heap_.empty());
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  Node node = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / kArity;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  Node node = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    std::uint32_t index = free_head_;
+    free_head_ = slab_[index].next_free;
+    return index;
+  }
+  assert(slab_.size() < kNoSlot && "slab exhausted");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t index) noexcept {
+  Slot& s = slab_[index];
+  s.fn.reset();
+  ++s.gen;  // invalidates every outstanding id for this slot
+  s.next_free = free_head_;
+  free_head_ = index;
 }
 
 }  // namespace vs::sim

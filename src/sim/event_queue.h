@@ -1,22 +1,39 @@
 // Pending-event set for the discrete-event kernel.
 //
-// A binary heap keyed on (time, sequence). The monotonically increasing
-// sequence number guarantees FIFO order among events scheduled for the same
-// instant, which makes simulations fully deterministic regardless of heap
-// internals.
+// Two cooperating structures (see docs/architecture.md, "Event kernel
+// memory model"):
+//
+//  - a hand-rolled 4-ary min-heap of 16-byte (SimTime, EventId) PODs, so
+//    sift operations move small trivially-copyable nodes and never touch a
+//    closure;
+//  - a free-list slab of closure slots indexed by the low 32 bits of the
+//    EventId, with a generation tag in the high 32 bits that makes cancel()
+//    safe against id reuse (a stale cancel is a no-op, never a misfire).
+//
+// Each slot also carries a monotonically increasing sequence number used as
+// the equal-time tie-break, which guarantees FIFO order among events
+// scheduled for the same instant — simulations stay fully deterministic
+// regardless of heap internals, and the pop order is identical to the old
+// binary-heap/std::function implementation.
+//
+// Steady-state schedule/pop performs zero heap allocations: closures live
+// in recycled slab slots (inline up to InlineEvent::kInlineSize bytes) and
+// the heap vector only grows to the high-water mark of pending events.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_event.h"
 #include "sim/time.h"
 
 namespace vs::sim {
 
+/// Packs (generation << 32 | slab slot). Treat as opaque: ids are unique
+/// across a queue's lifetime until a slot's 32-bit generation wraps (2^32
+/// reuses of one slot ≈ 10^13 events — beyond any simulation here).
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+using EventFn = InlineEvent;
 
 class EventQueue {
  public:
@@ -24,11 +41,13 @@ class EventQueue {
   /// cancel(). Events at equal times fire in scheduling order.
   EventId schedule(SimTime when, EventFn fn);
 
-  /// Lazily cancels a pending event: the entry stays in the heap but is
-  /// skipped when popped. O(1).
+  /// Lazily cancels a pending event: the closure is destroyed immediately
+  /// (releasing its captures) but the 16-byte heap node stays behind as a
+  /// tombstone, skipped when it surfaces. Cancelling an id that already
+  /// fired or was already cancelled is a no-op. O(1).
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   [[nodiscard]] SimTime next_time() const;
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
@@ -41,24 +60,50 @@ class EventQueue {
   Popped pop();
 
  private:
-  struct Entry {
+  /// What sifts through the heap: one cache line holds four of these.
+  struct Node {
     SimTime time;
     EventId id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
   };
 
-  void skip_cancelled() const;
+  /// Closure storage, stable in the slab while its node is in the heap.
+  struct Slot {
+    EventFn fn;               ///< empty = cancelled tombstone or vacant
+    std::uint64_t seq = 0;    ///< global scheduling order: FIFO tie-break
+    std::uint32_t gen = 0;    ///< bumped on free; stale ids mismatch
+    std::uint32_t next_free = kNoSlot;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<bool> cancelled_;  // indexed by EventId
-  EventId next_id_ = 0;
-  std::size_t live_ = 0;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr unsigned kArity = 4;
+
+  static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+  static constexpr std::uint32_t gen_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Strict weak order: (time, schedule sequence). Slab slots are pinned
+  /// while their node is in the heap, so the tie-break key never moves.
+  [[nodiscard]] bool earlier(const Node& a, const Node& b) const noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return slab_[slot_of(a.id)].seq < slab_[slot_of(b.id)].seq;
+  }
+
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void pop_node() noexcept;  ///< removes heap_[0], restores heap order
+  void drop_tombstones();    ///< discards cancelled nodes at the root
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t index) noexcept;
+
+  std::vector<Node> heap_;
+  std::vector<Slot> slab_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;  ///< scheduled, not yet fired or cancelled
 };
 
 }  // namespace vs::sim

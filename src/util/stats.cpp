@@ -42,15 +42,42 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+namespace {
+
+/// The R-7 rank for quantile `q` over `n` samples: the two bracketing
+/// order statistics and the interpolation fraction between them.
+struct Rank {
+  std::size_t lo;
+  std::size_t hi;
+  double frac;
+};
+
+Rank rank_of(std::size_t n, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(n - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, n - 1);
+  return Rank{lo, hi, rank - static_cast<double>(lo)};
+}
+
+}  // namespace
+
 double percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  std::sort(values.begin(), values.end());
-  double rank = q * static_cast<double>(values.size() - 1);
-  auto lo = static_cast<std::size_t>(rank);
-  std::size_t hi = std::min(lo + 1, values.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return values[lo] + frac * (values[hi] - values[lo]);
+  Rank r = rank_of(values.size(), q);
+  auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(r.lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  double lo_v = *lo_it;
+  if (r.hi == r.lo) return lo_v;
+  // The hi-th order statistic is the minimum of the partition above lo.
+  double hi_v = *std::min_element(lo_it + 1, values.end());
+  return lo_v + r.frac * (hi_v - lo_v);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  Rank r = rank_of(sorted.size(), q);
+  return sorted[r.lo] + r.frac * (sorted[r.hi] - sorted[r.lo]);
 }
 
 Summary summarize(const std::vector<double>& values) {
@@ -64,16 +91,9 @@ Summary summarize(const std::vector<double>& values) {
   std::sort(sorted.begin(), sorted.end());
   s.min = sorted.front();
   s.max = sorted.back();
-  auto pct = [&](double q) {
-    double rank = q * static_cast<double>(sorted.size() - 1);
-    auto lo = static_cast<std::size_t>(rank);
-    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
-  };
-  s.p50 = pct(0.50);
-  s.p95 = pct(0.95);
-  s.p99 = pct(0.99);
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  s.p99 = percentile_sorted(sorted, 0.99);
   return s;
 }
 

@@ -30,7 +30,15 @@ class RunningStats {
 
 /// Batch percentile with linear interpolation (the "exclusive" R-7 method
 /// used by numpy's default). `q` in [0, 1]. Returns 0 for empty input.
+/// Selects the two bracketing order statistics with nth_element (O(n)), so
+/// a one-off query never pays a full sort.
 [[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// R-7 percentile of an already ascending-sorted sample. Use this (after
+/// one sort) when querying several quantiles of the same vector —
+/// summarize() is the common packaged case.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q);
 
 /// Convenience summary over a sample: mean, p50, p95, p99, min, max.
 struct Summary {

@@ -1,0 +1,326 @@
+// Tests for the allocation-free event kernel: InlineEvent lifetime
+// semantics (SBO, heap fallback, move-only captures) and the slab-backed
+// 4-ary-heap EventQueue (generation-tagged cancel, FIFO determinism under
+// interleaved schedule/cancel/pop, equivalence with a reference model).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/inline_event.h"
+#include "util/rng.h"
+
+namespace vs::sim {
+namespace {
+
+// ---- InlineEvent ----------------------------------------------------------
+
+/// Counts constructions/destructions/moves of a capture, to pin down the
+/// exact lifetime behaviour of closures stored in InlineEvent.
+struct LifetimeStats {
+  int constructed = 0;
+  int destroyed = 0;
+  int moves = 0;
+};
+
+struct Tracked {
+  explicit Tracked(LifetimeStats* s) : stats(s) { ++stats->constructed; }
+  Tracked(const Tracked& o) : stats(o.stats) { ++stats->constructed; }
+  Tracked(Tracked&& o) noexcept : stats(o.stats) {
+    ++stats->constructed;
+    ++stats->moves;
+  }
+  ~Tracked() { ++stats->destroyed; }
+  LifetimeStats* stats;
+};
+
+TEST(InlineEvent, InvokesStoredCallable) {
+  int calls = 0;
+  InlineEvent ev([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(ev));
+  ev();
+  ev();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineEvent, EmptyAndNullptrSemantics) {
+  InlineEvent a;
+  InlineEvent b(nullptr);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+  a = [] {};
+  EXPECT_TRUE(static_cast<bool>(a));
+  a = nullptr;
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(InlineEvent, MoveTransfersAndEmptiesSource) {
+  int calls = 0;
+  InlineEvent a([&calls] { ++calls; });
+  InlineEvent b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineEvent, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(41);
+  int seen = 0;
+  InlineEvent ev([p = std::move(p), &seen] { seen = *p + 1; });
+  InlineEvent moved = std::move(ev);
+  moved();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineEvent, DestructorRunsExactlyOnce) {
+  LifetimeStats stats;
+  {
+    InlineEvent ev([t = Tracked(&stats)] { (void)t; });
+    InlineEvent moved = std::move(ev);
+    moved();  // invoking must not destroy the capture
+    EXPECT_EQ(stats.destroyed, stats.constructed - 1);
+  }
+  // Every constructed copy (temporaries included) destroyed, none twice.
+  EXPECT_EQ(stats.destroyed, stats.constructed);
+}
+
+TEST(InlineEvent, ResetDestroysCapture) {
+  LifetimeStats stats;
+  InlineEvent ev([t = Tracked(&stats)] { (void)t; });
+  int live_before = stats.constructed - stats.destroyed;
+  EXPECT_EQ(live_before, 1);
+  ev.reset();
+  EXPECT_EQ(stats.constructed, stats.destroyed);
+  EXPECT_FALSE(static_cast<bool>(ev));
+}
+
+TEST(InlineEvent, SmallCapturesAreStoredInline) {
+  auto small = [a = std::int64_t{1}, b = std::int64_t{2}, c = (void*)nullptr] {
+    (void)a; (void)b; (void)c;
+  };
+  static_assert(InlineEvent::stores_inline<decltype(small)>(),
+                "a 24-byte capture must not hit the heap");
+  static_assert(sizeof(InlineEvent) <= 2 * InlineEvent::kInlineSize,
+                "InlineEvent itself must stay compact");
+}
+
+TEST(InlineEvent, OversizedCaptureFallsBackToHeap) {
+  LifetimeStats stats;
+  {
+    std::array<char, 128> big{};
+    big[0] = 7;
+    auto fn = [big, t = Tracked(&stats), &stats_ref = stats]() {
+      stats_ref.moves += big[0];  // arbitrary observable effect
+      (void)t;
+    };
+    static_assert(!InlineEvent::stores_inline<decltype(fn)>(),
+                  "a 128-byte capture must take the heap fallback");
+    InlineEvent ev(std::move(fn));
+    InlineEvent moved = std::move(ev);  // relocates the pointer, not the closure
+    int moves_before = stats.moves;
+    moved();
+    EXPECT_EQ(stats.moves, moves_before + 7);
+  }
+  EXPECT_EQ(stats.constructed, stats.destroyed);
+}
+
+// ---- EventQueue: cancel accounting and id reuse ---------------------------
+
+TEST(EventQueueSlab, CancelAfterPopIsNoOpAndSizeStaysCorrect) {
+  // Regression: the old vector<bool> design let a cancel of an id that had
+  // already fired decrement live_, underreporting size().
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.schedule(10, [&] { ++fired; });
+  q.schedule(20, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 2u);
+  q.pop().fn();  // fires a
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(a);  // stale: a already fired
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop().fn();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueSlab, StaleCancelOnReusedSlotIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.schedule(10, [&] { fired += 1; });
+  q.pop().fn();  // frees a's slot
+  // The next schedule reuses the slot; its generation tag differs.
+  q.schedule(20, [&] { fired += 10; });
+  q.cancel(a);  // must not kill the new occupant
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueueSlab, DoubleCancelDecrementsOnce) {
+  EventQueue q;
+  EventId a = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(a);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueSlab, CancelOfNeverIssuedIdIsNoOp) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.cancel(0xFFFF'FFFF'0000'1234ULL);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueSlab, CancelReleasesCaptureImmediately) {
+  // Cancelled closures must free their captures right away, not when the
+  // tombstone eventually surfaces at the heap root.
+  EventQueue q;
+  LifetimeStats stats;
+  q.schedule(5, [] {});  // keeps the queue non-empty throughout
+  EventId id = q.schedule(10, [t = Tracked(&stats)] { (void)t; });
+  EXPECT_LT(stats.destroyed, stats.constructed);
+  q.cancel(id);
+  EXPECT_EQ(stats.destroyed, stats.constructed);
+}
+
+TEST(EventQueueSlab, SameTimeFifoSurvivesInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.schedule(100, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 10; i += 2) q.cancel(ids[static_cast<size_t>(i)]);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+// ---- EventQueue: property test against a reference model ------------------
+
+/// Straightforward reference implementation of the queue's contract:
+/// pending events ordered by (time, schedule sequence), lazy cancellation.
+class ReferenceQueue {
+ public:
+  std::uint64_t schedule(SimTime when) {
+    events_.push_back(Ref{when, next_seq_++, /*cancelled=*/false});
+    return events_.size() - 1;
+  }
+  bool cancel(std::uint64_t handle) {
+    Ref& r = events_[handle];
+    if (r.cancelled || r.fired) return false;
+    r.cancelled = true;
+    return true;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> pop() {
+    const Ref* best = nullptr;
+    for (const Ref& r : events_) {
+      if (r.cancelled || r.fired) continue;
+      if (best == nullptr || r.time < best->time ||
+          (r.time == best->time && r.seq < best->seq)) {
+        best = &r;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    std::uint64_t handle =
+        static_cast<std::uint64_t>(best - events_.data());
+    events_[handle].fired = true;
+    return handle;
+  }
+  [[nodiscard]] std::size_t live() const {
+    std::size_t n = 0;
+    for (const Ref& r : events_) n += (!r.cancelled && !r.fired) ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] SimTime time_of(std::uint64_t handle) const {
+    return events_[handle].time;
+  }
+
+ private:
+  struct Ref {
+    SimTime time;
+    std::uint64_t seq;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  std::vector<Ref> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST(EventQueueProperty, MatchesReferenceUnderInterleavedOps) {
+  // Random interleavings of schedule / cancel / pop, several seeds. The
+  // real queue must fire exactly the same payloads in exactly the same
+  // order as the reference, and agree on size() throughout.
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 2025ULL}) {
+    util::Rng rng(seed, /*stream=*/99);
+    EventQueue q;
+    ReferenceQueue ref;
+    std::vector<std::uint64_t> fired;       // reference handles, in order
+    std::vector<std::uint64_t> ref_fired;   // model's expectation
+    std::vector<std::pair<EventId, std::uint64_t>> outstanding;
+
+    for (int step = 0; step < 4000; ++step) {
+      std::int64_t op = rng.uniform_int(0, 9);
+      if (op < 5) {  // schedule (biased so the queue grows)
+        auto when = static_cast<SimTime>(rng.uniform_int(0, 50));
+        std::uint64_t handle = ref.schedule(when);
+        EventId id = q.schedule(
+            when, [&fired, handle] { fired.push_back(handle); });
+        outstanding.emplace_back(id, handle);
+      } else if (op < 7 && !outstanding.empty()) {  // cancel a random event
+        std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(outstanding.size()) - 1));
+        auto [id, handle] = outstanding[pick];
+        // May be stale (already fired or cancelled) — both sides must
+        // treat it as a no-op then.
+        ref.cancel(handle);
+        q.cancel(id);
+      } else if (!q.empty()) {  // pop
+        auto expect = ref.pop();
+        ASSERT_TRUE(expect.has_value());
+        auto popped = q.pop();
+        EXPECT_EQ(popped.time, ref.time_of(*expect));
+        popped.fn();
+        ref_fired.push_back(*expect);
+      }
+      ASSERT_EQ(q.size(), ref.live()) << "seed " << seed << " step " << step;
+      ASSERT_EQ(q.empty(), ref.live() == 0);
+    }
+    while (!q.empty()) {
+      auto expect = ref.pop();
+      ASSERT_TRUE(expect.has_value());
+      q.pop().fn();
+      ref_fired.push_back(*expect);
+    }
+    EXPECT_EQ(fired, ref_fired) << "seed " << seed;
+  }
+}
+
+TEST(EventQueueProperty, RecordedScriptDeterminism) {
+  // A fixed schedule/cancel script replayed twice must fire bit-identical
+  // sequences — the determinism contract the grid benches rely on.
+  auto run = [] {
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    util::Rng rng(123, 5);
+    for (int i = 0; i < 500; ++i) {
+      auto when = static_cast<SimTime>(rng.uniform_int(0, 20));
+      ids.push_back(q.schedule(when, [&order, i] { order.push_back(i); }));
+      if (i % 7 == 3) q.cancel(ids[static_cast<size_t>(i / 2)]);
+      if (i % 11 == 0 && !q.empty()) q.pop().fn();
+    }
+    while (!q.empty()) q.pop().fn();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace vs::sim
