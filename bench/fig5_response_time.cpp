@@ -18,6 +18,7 @@
 
 #include "apps/benchmarks.h"
 #include "metrics/sweep.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -126,5 +127,25 @@ int main(int argc, char** argv) {
             << "  Big.Little vs Only.Little (up to): paper 1.63x -> "
             << util::fmt(bl_vs_ol_best, 2) << "x\n"
             << "\nSeries written to fig5_response_time.csv\n";
+
+  // Optional telemetry capture (--metrics-out PREFIX or VS_METRICS): replay
+  // the stress-congestion cell's first sequence through the full cluster
+  // control plane (VersaSlot boards, D_switch loop, Aurora link) with the
+  // metrics registry bound and the sampler running, then export. The grid
+  // above is untouched — sweep replicas never carry telemetry.
+  if (std::string out = obs::resolve_metrics_out(&args); !out.empty()) {
+    workload::WorkloadConfig config;
+    config.congestion = workload::Congestion::kStress;
+    config.apps_per_sequence = kAppsPerSequence;
+    auto sequences = workload::generate_sequences(config, 1, kMasterSeed);
+    obs::Telemetry telemetry;
+    (void)metrics::run_cluster(suite, sequences[0], {},
+                               sim::seconds(36000.0), &telemetry);
+    telemetry.info().config.emplace_back("figure", "fig5");
+    telemetry.info().config.emplace_back("congestion", "Stress");
+    telemetry.write_outputs(out);
+    std::cout << "Telemetry written to " << out
+              << ".{prom,jsonl,report.json}\n";
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "apps/benchmarks.h"
 #include "metrics/sweep.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -95,5 +96,26 @@ int main(int argc, char** argv) {
               << "% better (paper: stress 83%/46%, real-time 56%/48%)\n\n";
   }
   std::cout << "Series written to fig6_tail_latency.csv\n";
+
+  // Optional telemetry (--metrics-out PREFIX or VS_METRICS): replay the
+  // stress / VersaSlot-BL / first-sequence cell single-board with metrics
+  // bound and export its instruments. The sweep grid never carries
+  // telemetry.
+  if (std::string out = obs::resolve_metrics_out(&args); !out.empty()) {
+    workload::WorkloadConfig config;
+    config.congestion = workload::Congestion::kStress;
+    config.apps_per_sequence = kAppsPerSequence;
+    auto sequences = workload::generate_sequences(config, 1, kMasterSeed);
+    obs::Telemetry telemetry;
+    metrics::RunOptions opts;
+    opts.telemetry = &telemetry;
+    (void)metrics::run_single_board(metrics::SystemKind::kVersaBigLittle,
+                                    suite, sequences[0], opts);
+    telemetry.info().config.emplace_back("figure", "fig6");
+    telemetry.info().config.emplace_back("congestion", "Stress");
+    telemetry.write_outputs(out);
+    std::cout << "Telemetry written to " << out
+              << ".{prom,jsonl,report.json}\n";
+  }
   return 0;
 }

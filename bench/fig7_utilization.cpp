@@ -16,6 +16,7 @@
 #include "apps/benchmarks.h"
 #include "apps/bundling.h"
 #include "metrics/sweep.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -161,5 +162,19 @@ int main(int argc, char** argv) {
             << util::fmt(bl_ff, 3) << " ("
             << util::fmt((bl_ff / ol_ff - 1) * 100, 1) << "%)\n"
             << "\nSeries written to fig7_utilization.csv\n";
+
+  // Optional telemetry (--metrics-out PREFIX or VS_METRICS): replay the
+  // dynamic check's first Big.Little cell with metrics bound and export.
+  if (std::string out = obs::resolve_metrics_out(&args); !out.empty()) {
+    obs::Telemetry telemetry;
+    metrics::RunOptions opts;
+    opts.telemetry = &telemetry;
+    (void)metrics::run_single_board(metrics::SystemKind::kVersaBigLittle,
+                                    suite, sequences[0], opts);
+    telemetry.info().config.emplace_back("figure", "fig7");
+    telemetry.write_outputs(out);
+    std::cout << "Telemetry written to " << out
+              << ".{prom,jsonl,report.json}\n";
+  }
   return 0;
 }

@@ -19,14 +19,23 @@
 
 #include "apps/benchmarks.h"
 #include "metrics/experiment.h"
+#include "obs/telemetry.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
 #include "workload/patterns.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  // Telemetry capture (--metrics-out PREFIX or VS_METRICS) attaches to the
+  // first workload's with-switching run — the run whose D_switch loop and
+  // Aurora migrations the figure is about.
+  const std::string metrics_out = obs::resolve_metrics_out(&args);
+  obs::Telemetry telemetry;
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
@@ -52,8 +61,11 @@ int main() {
   for (int w = 0; w < 3; ++w) {
     workload::Sequence seq = workload::fig8_long_workload(3000 + w);
 
+    obs::Telemetry* capture =
+        (w == 0 && !metrics_out.empty()) ? &telemetry : nullptr;
     metrics::ClusterRunResult with_sw =
-        metrics::run_cluster(suite, seq, options);
+        metrics::run_cluster(suite, seq, options, sim::seconds(36000.0),
+                             capture);
     cluster::ClusterOptions off = options;
     off.enable_switching = false;
     metrics::ClusterRunResult only_little =
@@ -133,5 +145,13 @@ int main() {
             << " ms over " << total_switches << " switches\n"
             << "\nSeries written to fig8_dswitch_trace.csv / "
                "fig8_summary.csv\n";
+
+  if (!metrics_out.empty()) {
+    telemetry.info().config.emplace_back("figure", "fig8");
+    telemetry.info().config.emplace_back("workload", "0");
+    telemetry.write_outputs(metrics_out);
+    std::cout << "Telemetry written to " << metrics_out
+              << ".{prom,jsonl,report.json}\n";
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "apps/benchmarks.h"
 #include "apps/bundling.h"
 #include "metrics/experiment.h"
+#include "obs/metrics.h"
 #include "sim/core.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -118,6 +119,61 @@ void BM_SimulatorEventRate(benchmark::State& state) {
   state.counters["allocs_per_event"] = steady_allocs / (10.0 * kEvents);
 }
 BENCHMARK(BM_SimulatorEventRate);
+
+/// The tick chain with telemetry handles on the hot path: one counter add
+/// and one gauge store per event. Mirrors how real components are
+/// instrumented — the handles live in a long-lived object (like
+/// sim::Core / fpga::Pcap members) and the event captures a pointer to
+/// it, so the closure stays at Tick's size. Arg(0) leaves the handles
+/// null (registry disabled — the shipping default), Arg(1) binds them to
+/// registry cells. Both paths must stay allocation-free, and the disabled
+/// path must hold the BM_SimulatorEventRate event rate (<=3% overhead,
+/// pinned by scripts/bench_substrate.sh into BENCH_substrate.json).
+struct MeteredLoop {
+  sim::Simulator* sim;
+  int remaining = 0;
+  obs::CounterHandle events;
+  obs::GaugeHandle depth;
+  void tick() {
+    events.add();
+    depth.set(static_cast<double>(remaining));
+    if (--remaining > 0) {
+      sim->schedule(100, [this] { tick(); });
+    }
+  }
+};
+
+void BM_MetricsOverhead(benchmark::State& state) {
+  constexpr int kEvents = 10000;
+  const bool enabled = state.range(0) != 0;
+  obs::MetricsRegistry registry;
+  sim::Simulator sim;
+  MeteredLoop loop{&sim};
+  if (enabled) {
+    loop.events =
+        obs::CounterHandle(&registry.counter("vs_bench_events_total"));
+    loop.depth = obs::GaugeHandle(&registry.gauge("vs_bench_depth"));
+  }
+  auto run_chain = [&] {
+    loop.remaining = kEvents;
+    sim.schedule(0, [&loop] { loop.tick(); });
+    sim.run();
+  };
+  run_chain();  // warm the queue's slab and node heap
+
+  // Steady-state allocation probe (see BM_EventQueueScheduleAndPop).
+  std::int64_t probe_before = alloc_calls();
+  for (int rep = 0; rep < 10; ++rep) run_chain();
+  double steady_allocs = static_cast<double>(alloc_calls() - probe_before);
+
+  for (auto _ : state) {
+    run_chain();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+  state.counters["allocs_per_event"] = steady_allocs / (10.0 * kEvents);
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
 
 void BM_PcapQueueing(benchmark::State& state) {
   for (auto _ : state) {

@@ -12,6 +12,11 @@
 # events/s, /10000 6.9M events/s, BM_SimulatorEventRate 26.7M events/s,
 # allocations >= 1 per event. The slab + InlineEvent kernel must hold
 # >= 1.5x those rates at 0 allocations per steady-state event.
+#
+# BM_MetricsOverhead pins the telemetry handles' hot-path cost:
+# BM_MetricsOverhead/0 (registry disabled — null handles, the shipping
+# default) must stay within 3% of the BM_SimulatorEventRate event rate,
+# and both /0 and /1 (registry bound) must keep allocs_per_event at 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +27,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target micro_substrate >/dev/null
 
 ./build/bench/micro_substrate \
-  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_PcapQueueing' \
+  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_MetricsOverhead|BM_PcapQueueing' \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_substrate.json \

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repository check gate: the tier-1 build + full test suite, a smoke run of
 # the substrate micro-benchmarks (which carry the event kernel's
-# zero-allocation probe), then sanitizer passes: ThreadSanitizer over the
-# parallel sweep runner (the only multi-threaded code in the repo) and
-# AddressSanitizer over the event-kernel tests (the slab queue and
-# InlineEvent do placement-new lifetime management by hand).
+# zero-allocation probe, including the telemetry-handle overhead bench) and
+# of the telemetry demo + its three exporters, then sanitizer passes:
+# ThreadSanitizer over the parallel sweep runner (the only multi-threaded
+# code in the repo) and AddressSanitizer over the event-kernel and
+# telemetry tests (the slab queue and InlineEvent do placement-new lifetime
+# management by hand; the registry hands out long-lived cell pointers).
 # Run from the repository root:
 #
 #   scripts/check.sh              # everything
@@ -23,8 +25,15 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== substrate micro-bench smoke (zero-alloc probe) =="
 cmake --build build -j "$JOBS" --target micro_substrate
 ./build/bench/micro_substrate \
-  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate' \
+  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_MetricsOverhead' \
   --benchmark_min_time=0.01
+
+echo "== telemetry demo smoke (dashboard + exporters) =="
+./build/examples/telemetry_demo --metrics-out build/telemetry_demo_smoke \
+  >/dev/null
+test -s build/telemetry_demo_smoke.prom
+test -s build/telemetry_demo_smoke.jsonl
+test -s build/telemetry_demo_smoke.report.json
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== ThreadSanitizer: sweep runner =="
@@ -37,11 +46,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== AddressSanitizer: event kernel =="
+  echo "== AddressSanitizer: event kernel + telemetry =="
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*'
 fi
 
 echo "== all checks passed =="

@@ -5,7 +5,7 @@
 namespace vs::cluster {
 
 void AuroraLink::transfer(std::int64_t bytes, sim::EventFn on_done) {
-  Pending p{bytes, std::move(on_done)};
+  Pending p{bytes, std::move(on_done), sim_.now()};
   if (busy_) {
     queue_.push_back(std::move(p));
     return;
@@ -13,10 +13,23 @@ void AuroraLink::transfer(std::int64_t bytes, sim::EventFn on_done) {
   start(std::move(p));
 }
 
+void AuroraLink::bind_metrics(obs::MetricsRegistry& registry) {
+  transfers_total_ =
+      obs::CounterHandle{&registry.counter("vs_aurora_transfers_total")};
+  bytes_total_ =
+      obs::CounterHandle{&registry.counter("vs_aurora_bytes_total")};
+  stall_ns_total_ =
+      obs::CounterHandle{&registry.counter("vs_aurora_stall_ns_total")};
+}
+
 void AuroraLink::start(Pending p) {
   busy_ = true;
   ++transfers_;
   bytes_ += p.bytes;
+  transfers_total_.add();
+  bytes_total_.add(p.bytes);
+  // Stall: time the transfer sat behind an earlier one on the serial link.
+  stall_ns_total_.add(sim_.now() - p.enqueued);
   sim::SimDuration t = params_.transfer_time(p.bytes);
   current_ = std::move(p);
   sim_.schedule(t, [this] { finish_transfer(); });

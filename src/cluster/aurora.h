@@ -7,6 +7,7 @@
 #include <deque>
 
 #include "fpga/params.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace vs::cluster {
@@ -26,10 +27,15 @@ class AuroraLink {
     return params_;
   }
 
+  /// Registers the link's instruments and resolves the telemetry handles.
+  /// Without this call every update is a no-op.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct Pending {
     std::int64_t bytes = 0;
     sim::EventFn on_done;
+    sim::SimTime enqueued = 0;
   };
   void start(Pending p);
   void finish_transfer();
@@ -43,6 +49,9 @@ class AuroraLink {
   bool busy_ = false;
   std::int64_t transfers_ = 0;
   std::int64_t bytes_ = 0;
+  obs::CounterHandle transfers_total_;  ///< vs_aurora_transfers_total
+  obs::CounterHandle bytes_total_;      ///< vs_aurora_bytes_total
+  obs::CounterHandle stall_ns_total_;   ///< vs_aurora_stall_ns_total
 };
 
 }  // namespace vs::cluster

@@ -27,6 +27,18 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
   assert(options_.boards_per_config >= 1);
   options_.bl_policy.mode = core::VersaSlotOptions::Mode::kBigLittle;
   options_.ol_policy.mode = core::VersaSlotOptions::Mode::kOnlyLittle;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    link_.bind_metrics(reg);
+    m_dswitch_evals_ =
+        obs::CounterHandle{&reg.counter("vs_dswitch_evaluations_total")};
+    m_switches_ =
+        obs::CounterHandle{&reg.counter("vs_dswitch_switches_total")};
+    m_migrated_apps_ =
+        obs::CounterHandle{&reg.counter("vs_cluster_migrated_apps_total")};
+    m_dswitch_value_ = obs::GaugeHandle{&reg.gauge("vs_dswitch_value")};
+    m_active_apps_ = obs::GaugeHandle{&reg.gauge("vs_cluster_active_apps")};
+  }
   for (int i = 0; i < options_.boards_per_config; ++i) {
     boards_ol_.push_back(std::make_unique<fpga::Board>(
         sim, "fpga-OL" + std::to_string(i),
@@ -62,6 +74,11 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
     completed_.push_back(c);
     on_queue_update();
   });
+  // Idempotent registration: a board reused across epochs resolves the same
+  // cells, so its counters accumulate over the whole cluster run.
+  if (options_.metrics != nullptr) {
+    epoch->runtime->bind_metrics(*options_.metrics);
+  }
   epochs_.push_back(std::move(epoch));
   return static_cast<int>(epochs_.size()) - 1;
 }
@@ -131,6 +148,9 @@ void Cluster::sample_and_act() {
                                        sample.apps, sample.batch);
   }
   monitor_.record(sample);
+  m_dswitch_evals_.add();
+  m_dswitch_value_.set(sample.value);
+  m_active_apps_.set(sample.apps);
 
   if (!options_.enable_switching) return;
   if (static_cast<int>(monitor_.trace().size()) <= options_.warmup_samples) {
@@ -252,6 +272,8 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
   for (const auto& m : migrated) event.bytes += m.state_bytes;
   std::size_t event_index = switch_events_.size();
   switch_events_.push_back(event);
+  m_switches_.add();
+  m_migrated_apps_.add(event.apps_migrated);
 
   VS_INFO << "cross-board switch -> " << config_name(target) << " (D=" << d
           << ", migrating " << migrated.size() << " apps, " << event.bytes

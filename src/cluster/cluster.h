@@ -23,6 +23,7 @@
 #include "core/dswitch.h"
 #include "core/versaslot_policy.h"
 #include "fpga/board.h"
+#include "obs/metrics.h"
 #include "runtime/board_runtime.h"
 #include "workload/generator.h"
 
@@ -50,6 +51,10 @@ struct ClusterOptions {
   fpga::LinkParams link_params;
   core::VersaSlotOptions bl_policy;  ///< mode forced to kBigLittle
   core::VersaSlotOptions ol_policy;  ///< mode forced to kOnlyLittle
+  /// Telemetry registry; null (the default) disables instrumentation. When
+  /// set, every board epoch, policy, the Aurora link, and the D_switch loop
+  /// bind their instruments here. The registry must outlive the cluster.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SwitchEvent {
@@ -138,6 +143,13 @@ class Cluster {
   std::vector<runtime::CompletedApp> completed_;
   std::vector<SwitchEvent> switch_events_;
   int submitted_ = 0;
+
+  // Telemetry: switch-loop instruments (no-ops when options.metrics null).
+  obs::CounterHandle m_dswitch_evals_;   ///< vs_dswitch_evaluations_total
+  obs::CounterHandle m_switches_;        ///< vs_dswitch_switches_total
+  obs::CounterHandle m_migrated_apps_;   ///< vs_cluster_migrated_apps_total
+  obs::GaugeHandle m_dswitch_value_;     ///< vs_dswitch_value
+  obs::GaugeHandle m_active_apps_;       ///< vs_cluster_active_apps
 };
 
 }  // namespace vs::cluster

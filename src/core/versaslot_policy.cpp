@@ -50,6 +50,22 @@ void VersaSlotPolicy::on_pass(runtime::BoardRuntime& rt) {
   preempt_little(rt);
 }
 
+void VersaSlotPolicy::bind_metrics(obs::MetricsRegistry& registry) {
+  obs::Labels labels{{"policy", name()}};
+  m_big_bindings_ = obs::CounterHandle{
+      &registry.counter("vs_policy_big_bindings_total", labels)};
+  m_little_bindings_ = obs::CounterHandle{
+      &registry.counter("vs_policy_little_bindings_total", labels)};
+  m_bundles_ = obs::CounterHandle{
+      &registry.counter("vs_policy_bundle_hits_total", labels)};
+  m_rebindings_ = obs::CounterHandle{
+      &registry.counter("vs_policy_rebindings_total", labels)};
+  m_redistributed_ = obs::CounterHandle{
+      &registry.counter("vs_policy_redistributed_slots_total", labels)};
+  m_preemptions_ = obs::CounterHandle{
+      &registry.counter("vs_policy_preemptions_total", labels)};
+}
+
 // --------------------------------------------------------------- Algorithm 1
 void VersaSlotPolicy::allocate(runtime::BoardRuntime& rt) {
   const bool big_little = options_.mode == VersaSlotOptions::Mode::kBigLittle;
@@ -86,6 +102,7 @@ void VersaSlotPolicy::allocate(runtime::BoardRuntime& rt) {
         little_left += std::min(s.alloc_little, a.units_unfinished());
         s.binding = Binding::kWaiting;
         s.alloc_little = 0;
+        m_rebindings_.add();
       }
     }
   }
@@ -116,6 +133,8 @@ void VersaSlotPolicy::allocate(runtime::BoardRuntime& rt) {
       s.binding = Binding::kBig;
       s.alloc_big = grant;
       big_avail -= grant;
+      m_big_bindings_.add();
+      if (s.bundleable) m_bundles_.add();
       // Online 3-in-1 bundling: re-unitise for Big-slot execution now that
       // the binding is decided (Algorithm 2 lines 4-7).
       rt.set_units(a.id, apps::make_big_units(*a.spec, a.batch,
@@ -131,6 +150,7 @@ void VersaSlotPolicy::allocate(runtime::BoardRuntime& rt) {
       s.binding = Binding::kLittle;
       s.alloc_little = grant;
       little_left -= grant;
+      m_little_bindings_.add();
     }
   }
 
@@ -147,6 +167,7 @@ void VersaSlotPolicy::allocate(runtime::BoardRuntime& rt) {
       int extra = std::min(delta, little_left);
       s.alloc_little += extra;
       little_left -= extra;
+      m_redistributed_.add(extra);
     }
   }
 }
@@ -248,6 +269,7 @@ void VersaSlotPolicy::preempt_little(runtime::BoardRuntime& rt) {
     if (u.state == runtime::UnitState::kRunning && !u.item_in_flight) {
       int unit_index = static_cast<int>(&u - v.units.data());
       rt.preempt_unit(victim, unit_index);
+      m_preemptions_.add();
       AppState& vs_state = state_[victim];
       vs_state.last_preempted = rt.sim().now();
       if (vs_state.alloc_little > 1) --vs_state.alloc_little;

@@ -22,6 +22,7 @@
 
 #include "apps/bundling.h"
 #include "apps/synthesis.h"
+#include "obs/metrics.h"
 #include "runtime/policy.h"
 #include "sim/time.h"
 
@@ -60,6 +61,7 @@ class VersaSlotPolicy : public runtime::SchedulerPolicy {
 
   void on_app_submitted(runtime::BoardRuntime& rt, int app_id) override;
   void on_pass(runtime::BoardRuntime& rt) override;
+  void bind_metrics(obs::MetricsRegistry& registry) override;
 
   /// Binding state, exposed for tests and the ablation benches.
   enum class Binding { kWaiting, kBig, kLittle };
@@ -92,6 +94,14 @@ class VersaSlotPolicy : public runtime::SchedulerPolicy {
 
   VersaSlotOptions options_;
   std::unordered_map<int, AppState> state_;
+
+  // Telemetry: Algorithm 1/2 decision outcomes (no-ops until bound).
+  obs::CounterHandle m_big_bindings_;     ///< vs_policy_big_bindings_total
+  obs::CounterHandle m_little_bindings_;  ///< vs_policy_little_bindings_total
+  obs::CounterHandle m_bundles_;          ///< vs_policy_bundle_hits_total
+  obs::CounterHandle m_rebindings_;       ///< vs_policy_rebindings_total
+  obs::CounterHandle m_redistributed_;    ///< vs_policy_redistributed_slots_total
+  obs::CounterHandle m_preemptions_;      ///< vs_policy_preemptions_total
 };
 
 }  // namespace vs::core

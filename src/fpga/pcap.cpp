@@ -6,11 +6,13 @@ namespace vs::fpga {
 
 void Pcap::request(sim::SimDuration load_duration, sim::Core& core,
                    sim::EventFn on_done, std::string label,
-                   sim::EventFn on_blocked) {
-  Request req{load_duration, &core, std::move(on_done), std::move(label),
-              sim_.now()};
+                   sim::EventFn on_blocked, std::int64_t bytes) {
+  Request req{load_duration, &core,     std::move(on_done),
+              std::move(label), sim_.now(), bytes};
   if (busy_) {
     ++stats_.loads_queued_behind_another;
+    queued_total_.add();
+    queue_depth_.set(static_cast<double>(queue_.size() + 1));
     if (on_blocked) on_blocked();
     queue_.push_back(std::move(req));
     return;
@@ -18,10 +20,31 @@ void Pcap::request(sim::SimDuration load_duration, sim::Core& core,
   start(std::move(req));
 }
 
+void Pcap::bind_metrics(obs::MetricsRegistry& registry,
+                        const std::string& board) {
+  obs::Labels labels{{"board", board}};
+  loads_total_ =
+      obs::CounterHandle{&registry.counter("vs_pcap_loads_total", labels)};
+  queued_total_ =
+      obs::CounterHandle{&registry.counter("vs_pcap_queued_total", labels)};
+  failures_total_ =
+      obs::CounterHandle{&registry.counter("vs_pcap_failures_total", labels)};
+  bytes_total_ = obs::CounterHandle{
+      &registry.counter("vs_pcap_bytes_loaded_total", labels)};
+  queue_depth_ =
+      obs::GaugeHandle{&registry.gauge("vs_pcap_queue_depth", labels)};
+  wait_ms_ = obs::HistogramHandle{&registry.histogram(
+      "vs_pcap_wait_ms", obs::default_ms_bounds(), labels)};
+  load_ms_ = obs::HistogramHandle{&registry.histogram(
+      "vs_pcap_load_ms", obs::default_ms_bounds(), labels)};
+}
+
 void Pcap::start(Request req) {
   busy_ = true;
   stats_.total_wait += sim_.now() - req.enqueued;
   stats_.total_load += req.duration;
+  wait_ms_.observe(sim::to_ms(sim_.now() - req.enqueued));
+  load_ms_.observe(sim::to_ms(req.duration));
   sim::SimDuration duration = req.duration;
   sim::Core& core = *req.core;
   // The "pcap:" prefix is functional — BoardRuntime::kick() detects a
@@ -40,6 +63,7 @@ void Pcap::finish_load() {
   if (failure_probability_ > 0 && rng_.bernoulli(failure_probability_)) {
     // Verification failed: reload immediately, ahead of the queue.
     ++stats_.load_failures;
+    failures_total_.add();
     Request retry = std::move(current_);
     retry.enqueued = sim_.now();
     busy_ = false;
@@ -47,6 +71,8 @@ void Pcap::finish_load() {
     return;
   }
   ++stats_.loads_completed;
+  loads_total_.add();
+  bytes_total_.add(current_.bytes);
   // Move out first: on_done may request another load re-entrantly, which
   // would overwrite current_.
   Request done = std::move(current_);
@@ -55,7 +81,10 @@ void Pcap::finish_load() {
   if (!busy_ && !queue_.empty()) {
     Request next = std::move(queue_.front());
     queue_.pop_front();
+    queue_depth_.set(static_cast<double>(queue_.size()));
     start(std::move(next));
+  } else {
+    queue_depth_.set(static_cast<double>(queue_.size()));
   }
 }
 

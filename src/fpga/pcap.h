@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "sim/core.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -46,14 +47,20 @@ class Pcap {
   /// occupies the PCAP exclusively and suspends `core` while transferring;
   /// `on_done` fires at completion. `on_blocked`, if set, fires once if the
   /// request had to wait behind another load (used for blocked-task
-  /// accounting).
+  /// accounting). `bytes` is the partial-bitstream size, accounted to the
+  /// vs_pcap_bytes_loaded_total telemetry counter on successful completion.
   void request(sim::SimDuration load_duration, sim::Core& core,
                sim::EventFn on_done, std::string label = {},
-               sim::EventFn on_blocked = nullptr);
+               sim::EventFn on_blocked = nullptr, std::int64_t bytes = 0);
 
   [[nodiscard]] bool busy() const noexcept { return busy_; }
   [[nodiscard]] std::size_t backlog() const noexcept { return queue_.size(); }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Registers this PCAP's instruments under the board label and resolves
+  /// the telemetry handles. Without this call every update is a no-op.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& board);
 
  private:
   struct Request {
@@ -62,6 +69,7 @@ class Pcap {
     sim::EventFn on_done;
     std::string label;
     sim::SimTime enqueued = 0;
+    std::int64_t bytes = 0;
   };
 
   void start(Request req);
@@ -77,6 +85,13 @@ class Pcap {
   Stats stats_;
   double failure_probability_ = 0.0;
   util::Rng rng_;
+  obs::CounterHandle loads_total_;     ///< vs_pcap_loads_total
+  obs::CounterHandle queued_total_;    ///< vs_pcap_queued_total
+  obs::CounterHandle failures_total_;  ///< vs_pcap_failures_total
+  obs::CounterHandle bytes_total_;     ///< vs_pcap_bytes_loaded_total
+  obs::GaugeHandle queue_depth_;       ///< vs_pcap_queue_depth
+  obs::HistogramHandle wait_ms_;       ///< vs_pcap_wait_ms
+  obs::HistogramHandle load_ms_;       ///< vs_pcap_load_ms
 };
 
 }  // namespace vs::fpga

@@ -70,6 +70,16 @@ RunResult run_single_board(SystemKind kind,
   auto policy = make_policy(kind, options.vs_options);
   runtime::BoardRuntime rt(board, *policy);
   rt.trace().enable(options.record_trace);
+  if (options.telemetry != nullptr) {
+    rt.bind_metrics(options.telemetry->registry());
+    options.telemetry->info().experiment = "single_board";
+    options.telemetry->info().config = {
+        {"system", system_name(kind)},
+        {"board", board.name()},
+        {"apps", std::to_string(sequence.size())},
+    };
+    options.telemetry->start_sampling(sim);
+  }
 
   for (const apps::AppArrival& a : sequence) {
     sim.schedule_at(a.arrival, [&rt, &suite, a] {
@@ -118,9 +128,22 @@ AggregateResult aggregate(SystemKind kind,
 ClusterRunResult run_cluster(const std::vector<apps::AppSpec>& suite,
                              const workload::Sequence& sequence,
                              const cluster::ClusterOptions& options,
-                             sim::SimTime time_limit) {
+                             sim::SimTime time_limit,
+                             obs::Telemetry* telemetry) {
   sim::Simulator sim;
-  cluster::Cluster cluster(sim, suite, options);
+  cluster::ClusterOptions cluster_options = options;
+  if (telemetry != nullptr) {
+    cluster_options.metrics = &telemetry->registry();
+    telemetry->info().experiment = "cluster";
+    telemetry->info().config = {
+        {"apps", std::to_string(sequence.size())},
+        {"t1", std::to_string(options.t1)},
+        {"t2", std::to_string(options.t2)},
+        {"boards_per_config", std::to_string(options.boards_per_config)},
+    };
+  }
+  cluster::Cluster cluster(sim, suite, cluster_options);
+  if (telemetry != nullptr) telemetry->start_sampling(sim);
   cluster.submit_sequence(sequence);
   sim.run(time_limit);
 

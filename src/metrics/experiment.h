@@ -13,6 +13,7 @@
 #include "cluster/cluster.h"
 #include "core/versaslot_policy.h"
 #include "fpga/params.h"
+#include "obs/telemetry.h"
 #include "runtime/board_runtime.h"
 #include "util/stats.h"
 #include "workload/generator.h"
@@ -73,6 +74,12 @@ struct RunOptions {
   std::optional<fpga::FabricConfig> fabric;
   /// Safety net: abort the run if simulated time passes this bound.
   sim::SimTime time_limit = sim::seconds(36000.0);
+  /// Telemetry bundle; null (the default) disables instrumentation. When
+  /// set, the harness binds the board stack to its registry, starts its
+  /// sampler, and records the run's config echo into its RunInfo. Single
+  /// runs only — parallel sweep jobs must leave this null (one registry
+  /// cannot be shared across replica threads).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Runs `sequence` to completion under `kind` on a fresh single board.
@@ -105,10 +112,14 @@ struct ClusterRunResult {
   int completed = 0;
 };
 
+/// `telemetry`, when non-null, instruments the whole cluster (boards,
+/// policies, Aurora link, D_switch loop) and runs its sampler — results are
+/// bit-identical either way.
 [[nodiscard]] ClusterRunResult run_cluster(
     const std::vector<apps::AppSpec>& suite,
     const workload::Sequence& sequence,
     const cluster::ClusterOptions& options,
-    sim::SimTime time_limit = sim::seconds(36000.0));
+    sim::SimTime time_limit = sim::seconds(36000.0),
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace vs::metrics

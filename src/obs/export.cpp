@@ -1,0 +1,309 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "sim/time.h"
+
+namespace vs::obs {
+namespace {
+
+/// Shortest round-trip decimal representation of a double (to_chars), so
+/// exports parse back to the exact value and carry no trailing noise.
+std::string fmt_double(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+/// Prometheus label block: `{k="v",...}` with `le` appended when present;
+/// empty string when there are no dimensions at all.
+std::string label_block(const Labels& labels, const std::string* le) {
+  if (labels.empty() && le == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (le != nullptr) {
+    if (!first) out += ',';
+    out += "le=\"" + *le + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+/// Emits `# TYPE` once per metric name, in first-appearance order.
+void emit_type(std::ostream& out, std::set<std::string>& seen,
+               const std::string& name, const char* type) {
+  if (seen.insert(name).second) {
+    out << "# TYPE " << name << ' ' << type << '\n';
+  }
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(k) + "\":\"" + json_escape(v) + '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
+  std::set<std::string> seen;
+  for (const auto& row : registry.counters()) {
+    emit_type(out, seen, row.name, "counter");
+    out << row.name << label_block(row.labels, nullptr) << ' '
+        << row.cell.value() << '\n';
+  }
+  for (const auto& row : registry.gauges()) {
+    emit_type(out, seen, row.name, "gauge");
+    out << row.name << label_block(row.labels, nullptr) << ' '
+        << fmt_double(row.cell.value()) << '\n';
+  }
+  for (const auto& row : registry.histograms()) {
+    emit_type(out, seen, row.name, "histogram");
+    const auto& bounds = row.cell.bounds();
+    const auto& counts = row.cell.bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      std::string le = fmt_double(bounds[i]);
+      out << row.name << "_bucket" << label_block(row.labels, &le) << ' '
+          << cumulative << '\n';
+    }
+    std::string inf = "+Inf";
+    out << row.name << "_bucket" << label_block(row.labels, &inf) << ' '
+        << row.cell.count() << '\n';
+    out << row.name << "_sum" << label_block(row.labels, nullptr) << ' '
+        << fmt_double(row.cell.sum()) << '\n';
+    out << row.name << "_count" << label_block(row.labels, nullptr) << ' '
+        << row.cell.count() << '\n';
+  }
+}
+
+void write_timeseries_jsonl(const Sampler& sampler,
+                            const MetricsRegistry& registry,
+                            std::ostream& out) {
+  for (const auto& snap : sampler.snapshots()) {
+    std::string line = "{\"t_ms\":" + fmt_double(sim::to_ms(snap.time));
+    std::size_t col = 0;
+    // Gauges first, then counters — the order sample_now() recorded them.
+    // A snapshot taken before later registrations is narrower; only emit
+    // the columns it actually has.
+    for (const auto& row : registry.gauges()) {
+      if (col >= snap.gauge_count) break;
+      line += ",\"" +
+              json_escape(MetricsRegistry::full_name(row.name, row.labels)) +
+              "\":" + fmt_double(snap.values[col]);
+      ++col;
+    }
+    std::size_t counter_cols = snap.values.size() - snap.gauge_count;
+    std::size_t counter_idx = 0;
+    for (const auto& row : registry.counters()) {
+      if (counter_idx >= counter_cols) break;
+      line += ",\"" +
+              json_escape(MetricsRegistry::full_name(row.name, row.labels)) +
+              "\":" + fmt_double(snap.values[snap.gauge_count + counter_idx]);
+      ++counter_idx;
+    }
+    line += "}";
+    out << line << '\n';
+  }
+}
+
+void write_run_report(const MetricsRegistry& registry, const RunInfo& info,
+                      const Sampler* sampler, std::ostream& out) {
+  out << "{\n  \"experiment\": \"" << json_escape(info.experiment) << "\",\n";
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : info.config) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << json_escape(k) << "\": \"" << json_escape(v) << '"';
+  }
+  out << "},\n";
+
+  out << "  \"counters\": [\n";
+  first = true;
+  for (const auto& row : registry.counters()) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string labels;
+    append_json_labels(labels, row.labels);
+    out << "    {\"name\": \"" << json_escape(row.name)
+        << "\", \"labels\": " << labels << ", \"value\": " << row.cell.value()
+        << "}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"gauges\": [\n";
+  first = true;
+  for (const auto& row : registry.gauges()) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string labels;
+    append_json_labels(labels, row.labels);
+    out << "    {\"name\": \"" << json_escape(row.name)
+        << "\", \"labels\": " << labels
+        << ", \"value\": " << fmt_double(row.cell.value()) << "}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"histograms\": [\n";
+  first = true;
+  for (const auto& row : registry.histograms()) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string labels;
+    append_json_labels(labels, row.labels);
+    const Histogram& h = row.cell;
+    out << "    {\"name\": \"" << json_escape(row.name)
+        << "\", \"labels\": " << labels << ", \"count\": " << h.count()
+        << ", \"sum\": " << fmt_double(h.sum())
+        << ", \"mean\": " << fmt_double(h.mean())
+        << ", \"p50\": " << fmt_double(h.quantile(0.50))
+        << ", \"p95\": " << fmt_double(h.quantile(0.95))
+        << ", \"p99\": " << fmt_double(h.quantile(0.99))
+        << ", \"max\": " << fmt_double(h.max()) << "}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"snapshots\": "
+      << (sampler != nullptr ? sampler->snapshots().size() : 0) << "\n}\n";
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(registry, out);
+  return out.str();
+}
+
+std::string timeseries_jsonl(const Sampler& sampler,
+                             const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_timeseries_jsonl(sampler, registry, out);
+  return out.str();
+}
+
+std::string run_report_json(const MetricsRegistry& registry,
+                            const RunInfo& info, const Sampler* sampler) {
+  std::ostringstream out;
+  write_run_report(registry, info, sampler, out);
+  return out.str();
+}
+
+std::string format_dashboard(const MetricsRegistry& registry,
+                             const std::string& title) {
+  std::ostringstream out;
+  std::string rule(64, '=');
+  out << rule << '\n' << "  " << title << '\n' << rule << '\n';
+
+  auto name_width = [&registry] {
+    std::size_t w = 0;
+    for (const auto& row : registry.counters()) {
+      w = std::max(w,
+                   MetricsRegistry::full_name(row.name, row.labels).size());
+    }
+    for (const auto& row : registry.gauges()) {
+      w = std::max(w,
+                   MetricsRegistry::full_name(row.name, row.labels).size());
+    }
+    for (const auto& row : registry.histograms()) {
+      w = std::max(w,
+                   MetricsRegistry::full_name(row.name, row.labels).size());
+    }
+    return std::min<std::size_t>(w, 56);
+  }();
+
+  auto pad = [name_width](const std::string& s) {
+    std::string out = s;
+    if (out.size() < name_width) out.append(name_width - out.size(), ' ');
+    return out;
+  };
+
+  if (!registry.counters().empty()) {
+    out << "\n-- counters " << std::string(50, '-') << '\n';
+    for (const auto& row : registry.counters()) {
+      out << "  "
+          << pad(MetricsRegistry::full_name(row.name, row.labels)) << "  "
+          << row.cell.value() << '\n';
+    }
+  }
+  if (!registry.gauges().empty()) {
+    out << "\n-- gauges " << std::string(52, '-') << '\n';
+    for (const auto& row : registry.gauges()) {
+      out << "  "
+          << pad(MetricsRegistry::full_name(row.name, row.labels)) << "  "
+          << fmt_double(row.cell.value()) << '\n';
+    }
+  }
+  if (!registry.histograms().empty()) {
+    out << "\n-- histograms " << std::string(48, '-') << '\n';
+    for (const auto& row : registry.histograms()) {
+      const Histogram& h = row.cell;
+      out << "  " << pad(MetricsRegistry::full_name(row.name, row.labels))
+          << "  n=" << h.count();
+      if (h.count() > 0) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "  mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
+                      h.mean(), h.quantile(0.5), h.quantile(0.95),
+                      h.quantile(0.99), h.max());
+        out << line << "\n  " << pad("") << "  [";
+        // Occupancy bar: one glyph per bucket scaled against the fullest.
+        const auto& counts = h.bucket_counts();
+        std::uint64_t peak = *std::max_element(counts.begin(), counts.end());
+        for (std::uint64_t c : counts) {
+          static const char* glyphs = " .:-=+*#%@";
+          std::size_t level =
+              peak == 0 ? 0
+                        : static_cast<std::size_t>(
+                              (static_cast<double>(c) / peak) * 9.0);
+          out << glyphs[level];
+        }
+        out << "]";
+      }
+      out << '\n';
+    }
+  }
+  out << rule << '\n';
+  return out.str();
+}
+
+}  // namespace vs::obs

@@ -1,0 +1,52 @@
+// Exporters for MetricsRegistry / Sampler contents.
+//
+// Three machine formats plus one human one:
+//  - Prometheus text exposition (`# TYPE` headers, `name{labels} value`
+//    lines, histogram `_bucket`/`_sum`/`_count` series with a +Inf bucket),
+//  - JSONL time series (one flat JSON object per sampler snapshot keyed by
+//    instrument full name, with `t_ms` for the simulated timestamp),
+//  - a RunReport JSON document (config echo, final instrument values,
+//    histogram percentile summaries),
+//  - a dashboard-style ASCII summary (examples/telemetry_demo.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+
+namespace vs::obs {
+
+/// Free-form run description echoed into the RunReport: an experiment name
+/// plus ordered key/value config pairs (seed, system, workload, ...).
+struct RunInfo {
+  std::string experiment;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out);
+void write_timeseries_jsonl(const Sampler& sampler,
+                            const MetricsRegistry& registry,
+                            std::ostream& out);
+void write_run_report(const MetricsRegistry& registry, const RunInfo& info,
+                      const Sampler* sampler, std::ostream& out);
+
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+[[nodiscard]] std::string timeseries_jsonl(const Sampler& sampler,
+                                           const MetricsRegistry& registry);
+[[nodiscard]] std::string run_report_json(const MetricsRegistry& registry,
+                                          const RunInfo& info,
+                                          const Sampler* sampler);
+
+/// Terminal-width ASCII summary: counters/gauges as aligned rows, histogram
+/// rows with count/mean/p50/p95/p99/max and a log-bucket occupancy bar.
+[[nodiscard]] std::string format_dashboard(const MetricsRegistry& registry,
+                                           const std::string& title);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace vs::obs

@@ -1,0 +1,68 @@
+// Periodic in-simulation snapshotting of registry instruments.
+//
+// The Sampler schedules itself as an ordinary event at fixed simulated-time
+// intervals and records the value of every registered gauge and counter at
+// each tick. Snapshot events only *read* instrument cells — they mutate no
+// simulation state and draw no randomness — and they are inserted through
+// the same schedule() path as everything else, so adding a sampler shifts
+// event sequence numbers uniformly without reordering any two simulation
+// events relative to each other: results stay bit-identical with sampling
+// on or off (pinned by tests/obs_test.cpp).
+//
+// The tick only re-arms itself while other events remain pending, so a
+// sampler never keeps sim.run() from draining: the final snapshot is taken
+// at the first tick that finds the queue otherwise idle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace vs::sim {
+class Simulator;
+}  // namespace vs::sim
+
+namespace vs::obs {
+
+/// One sampling instant: instrument values in registry registration order,
+/// gauges first, then counters (as doubles). Instruments registered after a
+/// snapshot was taken simply make later snapshots wider; exporters align
+/// columns by the per-snapshot counts.
+struct Snapshot {
+  sim::SimTime time = 0;
+  std::size_t gauge_count = 0;
+  std::vector<double> values;  ///< size = gauge_count + counter count
+};
+
+class Sampler {
+ public:
+  /// Snapshots `registry` every `interval` of simulated time once started.
+  Sampler(MetricsRegistry& registry, sim::SimDuration interval);
+
+  /// Schedules the first tick one interval from sim.now(). Call once, before
+  /// sim.run(); the sampler must outlive the simulation.
+  void start(sim::Simulator& sim);
+
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+  [[nodiscard]] sim::SimDuration interval() const noexcept {
+    return interval_;
+  }
+
+  /// Takes one snapshot at `now` without scheduling anything. Used by the
+  /// tick, and directly by Telemetry for a final end-of-run sample.
+  void sample_now(sim::SimTime now);
+
+ private:
+  void tick();
+
+  MetricsRegistry* registry_;
+  sim::Simulator* sim_ = nullptr;
+  sim::SimDuration interval_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace vs::obs

@@ -1,0 +1,51 @@
+#include "obs/telemetry.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/cli.h"
+
+namespace vs::obs {
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open metrics output file " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(sim::SimDuration sample_interval)
+    : sampler_(registry_, sample_interval) {}
+
+void Telemetry::write_outputs(const std::string& prefix) const {
+  {
+    auto out = open_or_throw(prefix + ".prom");
+    write_prometheus(registry_, out);
+  }
+  {
+    auto out = open_or_throw(prefix + ".jsonl");
+    write_timeseries_jsonl(sampler_, registry_, out);
+  }
+  {
+    auto out = open_or_throw(prefix + ".report.json");
+    write_run_report(registry_, info_, &sampler_, out);
+  }
+}
+
+std::string resolve_metrics_out(const util::CliArgs* args) {
+  if (args != nullptr && args->has("metrics-out")) {
+    return args->get("metrics-out");
+  }
+  if (const char* env = std::getenv("VS_METRICS");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return {};
+}
+
+}  // namespace vs::obs

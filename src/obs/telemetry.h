@@ -1,0 +1,70 @@
+// Telemetry: the bundle a run carries when metrics are enabled.
+//
+// One object owning the MetricsRegistry, the periodic Sampler, and the
+// RunInfo config echo, with a one-call exporter that writes the three
+// machine formats next to each other:
+//   <prefix>.prom         Prometheus text exposition (final values)
+//   <prefix>.jsonl        gauge/counter time series, one snapshot per line
+//   <prefix>.report.json  RunReport (config echo + finals + percentiles)
+//
+// Experiments take a `Telemetry*` (null = telemetry off, the default): the
+// harness binds every component to the registry and starts the sampler
+// before sim.run(). Telemetry is for single runs — parallel sweep jobs
+// leave it null, since one registry must not be shared across replica
+// threads.
+#pragma once
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "sim/time.h"
+
+namespace vs::sim {
+class Simulator;
+}  // namespace vs::sim
+
+namespace vs::util {
+class CliArgs;
+}  // namespace vs::util
+
+namespace vs::obs {
+
+class Telemetry {
+ public:
+  /// `sample_interval` is simulated time between sampler snapshots.
+  explicit Telemetry(sim::SimDuration sample_interval = sim::ms(50));
+
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] Sampler& sampler() noexcept { return sampler_; }
+  [[nodiscard]] const Sampler& sampler() const noexcept { return sampler_; }
+  [[nodiscard]] RunInfo& info() noexcept { return info_; }
+  [[nodiscard]] const RunInfo& info() const noexcept { return info_; }
+
+  /// Arms the sampler on `sim`. Call after binding instruments, before run.
+  void start_sampling(sim::Simulator& sim) { sampler_.start(sim); }
+
+  /// Writes <prefix>.prom, <prefix>.jsonl and <prefix>.report.json.
+  /// Throws std::runtime_error if a file cannot be opened.
+  void write_outputs(const std::string& prefix) const;
+
+  [[nodiscard]] std::string dashboard(const std::string& title) const {
+    return format_dashboard(registry_, title);
+  }
+
+ private:
+  MetricsRegistry registry_;
+  Sampler sampler_;
+  RunInfo info_;
+};
+
+/// Output prefix resolution for the bench/example CLIs: `--metrics-out`
+/// flag first, then the VS_METRICS environment variable; empty string means
+/// telemetry stays off. Pass null args to consult the environment only.
+[[nodiscard]] std::string resolve_metrics_out(const util::CliArgs* args);
+
+}  // namespace vs::obs

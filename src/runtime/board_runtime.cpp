@@ -30,6 +30,52 @@ BoardRuntime::BoardRuntime(fpga::Board& board, SchedulerPolicy& policy)
   policy_.attach(*this);
 }
 
+void BoardRuntime::bind_metrics(obs::MetricsRegistry& registry) {
+  obs::Labels labels{{"board", board_.name()}};
+  m_pr_requests_ = obs::CounterHandle{
+      &registry.counter("vs_runtime_pr_requests_total", labels)};
+  m_pr_blocked_ = obs::CounterHandle{
+      &registry.counter("vs_runtime_pr_blocked_total", labels)};
+  m_launch_blocked_ = obs::CounterHandle{
+      &registry.counter("vs_runtime_launch_blocked_total", labels)};
+  m_items_ =
+      obs::CounterHandle{&registry.counter("vs_runtime_items_total", labels)};
+  m_apps_completed_ = obs::CounterHandle{
+      &registry.counter("vs_runtime_apps_completed_total", labels)};
+  m_preemptions_ = obs::CounterHandle{
+      &registry.counter("vs_runtime_preemptions_total", labels)};
+  m_passes_ = obs::CounterHandle{
+      &registry.counter("vs_runtime_passes_total", labels)};
+  m_response_ms_ = obs::HistogramHandle{&registry.histogram(
+      "vs_app_response_ms", obs::default_ms_bounds(), labels)};
+  m_item_ms_ = obs::HistogramHandle{&registry.histogram(
+      "vs_runtime_item_ms", obs::default_ms_bounds(), labels)};
+  for (std::size_t s = 0; s < m_slot_state_.size(); ++s) {
+    obs::Labels state_labels = labels;
+    state_labels.emplace_back(
+        "state", fpga::to_string(static_cast<fpga::SlotState>(s)));
+    m_slot_state_[s] = obs::GaugeHandle{
+        &registry.gauge("vs_slot_state_count", std::move(state_labels))};
+  }
+  board_.scheduler_core().bind_metrics(registry);
+  board_.pr_core().bind_metrics(registry);
+  board_.pcap().bind_metrics(registry, board_.name());
+  policy_.bind_metrics(registry);
+  metrics_bound_ = true;
+  refresh_slot_gauges();
+}
+
+void BoardRuntime::refresh_slot_gauges() {
+  if (!metrics_bound_) return;
+  std::array<int, 4> counts{};
+  for (const fpga::Slot& s : board_.slots()) {
+    ++counts[static_cast<std::size_t>(s.state())];
+  }
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    m_slot_state_[s].set(counts[s]);
+  }
+}
+
 int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
                          sim::SimTime arrival,
                          sim::SimDuration item_interval) {
@@ -128,6 +174,8 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
   u.pr_was_blocked = false;
   a.started = true;
   ++counters_.pr_requests;
+  m_pr_requests_.add();
+  refresh_slot_gauges();
 
   const fpga::BoardParams& p = board_.params();
   // The bare-metal PR flow runs entirely on the issuing core: read the
@@ -161,6 +209,7 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
         touch_utilization();
         board_.slot(u2.slot).finish_reconfig();
         u2.state = UnitState::kRunning;
+        refresh_slot_gauges();
         if (trace_.enabled()) {
           trace_.add(requested, sim().now(), board_.slot(u2.slot).name(),
                      a2.spec->name + "#" + std::to_string(app_id) + ".u" +
@@ -178,7 +227,9 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
         blocked_unit.pr_was_blocked = true;
         ++counters_.pr_blocked;
         ++window_blocked_;
-      });
+        m_pr_blocked_.add();
+      },
+      u.spec.bitstream_bytes);
 }
 
 void BoardRuntime::request_full_reconfig(int app_id) {
@@ -193,6 +244,7 @@ void BoardRuntime::request_full_reconfig(int app_id) {
   full_fabric_app_ = app_id;
   a.started = true;
   ++counters_.pr_requests;
+  m_pr_requests_.add();
   for (UnitRun& u : a.units) {
     u.state = UnitState::kReconfiguring;
     u.slot = -2;
@@ -221,7 +273,8 @@ void BoardRuntime::request_full_reconfig(int app_id) {
       },
       trace_.enabled()
           ? a.spec->name + "#" + std::to_string(app_id) + ".full"
-          : std::string{});
+          : std::string{},
+      nullptr, p.full_bitstream_bytes);
 }
 
 void BoardRuntime::preempt_unit(int app_id, int unit_index) {
@@ -235,6 +288,8 @@ void BoardRuntime::preempt_unit(int app_id, int unit_index) {
   u.state = UnitState::kPending;
   u.slot = -1;
   ++counters_.preemptions;
+  m_preemptions_.add();
+  refresh_slot_gauges();
 }
 
 int BoardRuntime::submit_with_progress(const apps::AppSpec& spec,
@@ -332,6 +387,7 @@ void BoardRuntime::kick() {
       core.current_label().rfind("pcap:", 0) == 0) {
     ++counters_.launch_blocked;
     ++window_blocked_;
+    m_launch_blocked_.add();
   }
   core.submit(
       board_.params().sched_pass_cost, [this] { run_pass(); }, "pass");
@@ -340,6 +396,7 @@ void BoardRuntime::kick() {
 void BoardRuntime::run_pass() {
   pass_queued_ = false;
   ++counters_.passes;
+  m_passes_.add();
   policy_.on_pass(*this);
   try_launches();
 }
@@ -394,6 +451,7 @@ void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
           // ... then execution in the slot.
           touch_utilization();
           if (u2.slot >= 0) board_.slot(u2.slot).begin_exec();
+          refresh_slot_gauges();
           sim::SimDuration d = u2.spec.item_latency +
                                (item == 0 ? u2.spec.fill_latency : 0);
           sim::SimTime started = sim().now();
@@ -408,6 +466,7 @@ void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
                              std::to_string(item + 1),
                          sim::SpanKind::kExec);
             }
+            m_item_ms_.observe(sim::to_ms(sim().now() - started));
             finish_item(app_id, unit_index);
           });
         });
@@ -423,7 +482,9 @@ void BoardRuntime::finish_item(int app_id, int unit_index) {
   u.item_in_flight = false;
   ++u.items_done;
   ++counters_.items_executed;
+  m_items_.add();
   if (u.items_done >= a.batch) finish_unit(u);
+  refresh_slot_gauges();
   check_app_complete(a);
   kick();
 }
@@ -444,6 +505,8 @@ void BoardRuntime::check_app_complete(AppRun& a) {
   }
   a.completed = sim().now();
   ++counters_.apps_completed;
+  m_apps_completed_.add();
+  m_response_ms_.observe(sim::to_ms(a.completed - a.arrival));
   if (full_fabric_app_ == a.id) {
     touch_utilization();
     full_fabric_app_ = -1;

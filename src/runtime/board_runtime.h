@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -19,6 +20,7 @@
 #include "apps/bundling.h"
 #include "apps/task.h"
 #include "fpga/board.h"
+#include "obs/metrics.h"
 #include "runtime/policy.h"
 #include "sim/trace.h"
 
@@ -246,6 +248,14 @@ class BoardRuntime {
     on_app_complete_ = std::move(fn);
   }
 
+  // -------------------------------------------------------------- telemetry
+  /// Binds the whole board stack — runtime counters/histograms, per-state
+  /// slot occupancy gauges, both cores, the PCAP, and the policy — to
+  /// `registry`, labelled by board name. Idempotent: rebinding (cluster
+  /// epochs reusing a board) resolves the same cells, so counts accumulate.
+  /// Without this call every telemetry update is a no-op.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
   // ------------------------------------------------------------- migration
   /// Removes and returns apps that have not started executing (the paper's
   /// "applications and tasks in the ready list"); they migrate to another
@@ -283,6 +293,8 @@ class BoardRuntime {
   void finish_unit(UnitRun& unit);
   void check_app_complete(AppRun& app);
   void touch_utilization();
+  /// Recounts the per-state slot occupancy gauges; no-op until bound.
+  void refresh_slot_gauges();
 
   fpga::Board& board_;
   SchedulerPolicy& policy_;
@@ -298,6 +310,20 @@ class BoardRuntime {
   int full_fabric_app_ = -1;  ///< baseline: app owning the whole fabric
   std::int64_t window_blocked_ = 0;
   sim::SimTime last_util_touch_ = 0;
+
+  // Telemetry handles (null until bind_metrics; updates are then no-ops).
+  bool metrics_bound_ = false;
+  obs::CounterHandle m_pr_requests_;     ///< vs_runtime_pr_requests_total
+  obs::CounterHandle m_pr_blocked_;      ///< vs_runtime_pr_blocked_total
+  obs::CounterHandle m_launch_blocked_;  ///< vs_runtime_launch_blocked_total
+  obs::CounterHandle m_items_;           ///< vs_runtime_items_total
+  obs::CounterHandle m_apps_completed_;  ///< vs_runtime_apps_completed_total
+  obs::CounterHandle m_preemptions_;     ///< vs_runtime_preemptions_total
+  obs::CounterHandle m_passes_;          ///< vs_runtime_passes_total
+  obs::HistogramHandle m_response_ms_;   ///< vs_app_response_ms
+  obs::HistogramHandle m_item_ms_;       ///< vs_runtime_item_ms
+  /// vs_slot_state_count{state=...}, indexed by fpga::SlotState.
+  std::array<obs::GaugeHandle, 4> m_slot_state_{};
 };
 
 }  // namespace vs::runtime

@@ -11,6 +11,10 @@
 // dual-core.
 #pragma once
 
+namespace vs::obs {
+class MetricsRegistry;
+}  // namespace vs::obs
+
 namespace vs::runtime {
 
 class BoardRuntime;
@@ -27,6 +31,10 @@ class SchedulerPolicy {
 
   /// Called once when the runtime is constructed.
   virtual void attach(BoardRuntime&) {}
+
+  /// Registers the policy's own instruments (decision counters) when the
+  /// run carries telemetry. Policies without instruments ignore it.
+  virtual void bind_metrics(obs::MetricsRegistry&) {}
 
   /// Called (outside any core op) when an app is admitted, so the policy
   /// can register it in its own queues. A pass is always kicked afterwards.

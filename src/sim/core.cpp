@@ -11,7 +11,19 @@ Core::Core(Simulator& sim, std::string name)
 void Core::submit(SimDuration duration, EventFn on_done, std::string label) {
   assert(duration >= 0);
   queue_.push_back(Op{duration, std::move(on_done), std::move(label)});
+  ops_total_.add();
+  queue_depth_.add(1.0);
   if (!busy_) start_next();
+}
+
+void Core::bind_metrics(obs::MetricsRegistry& registry) {
+  obs::Labels labels{{"core", name_}};
+  ops_total_ =
+      obs::CounterHandle{&registry.counter("vs_core_ops_total", labels)};
+  busy_ns_total_ =
+      obs::CounterHandle{&registry.counter("vs_core_busy_ns_total", labels)};
+  queue_depth_ =
+      obs::GaugeHandle{&registry.gauge("vs_core_queue_depth", labels)};
 }
 
 SimTime Core::available_at() const noexcept {
@@ -29,6 +41,7 @@ void Core::start_next() {
   current_label_ = std::move(op.label);
   current_end_ = sim_.now() + op.duration;
   busy_time_ += op.duration;
+  busy_ns_total_.add(op.duration);
   current_done_ = std::move(op.on_done);
   sim_.schedule(op.duration, [this] { finish_current(); });
 }
@@ -36,6 +49,7 @@ void Core::start_next() {
 void Core::finish_current() {
   busy_ = false;
   current_label_.clear();
+  queue_depth_.add(-1.0);
   // Move out first: the callback may submit more work and restart the core,
   // which would overwrite current_done_.
   EventFn done = std::move(current_done_);

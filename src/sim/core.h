@@ -13,6 +13,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -46,6 +47,10 @@ class Core {
     return current_label_;
   }
 
+  /// Registers this core's instruments (labelled by core name) and resolves
+  /// the telemetry handles. Without this call every update is a no-op.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct Op {
     SimDuration duration;
@@ -67,6 +72,9 @@ class Core {
   // and stay within the event queue's inline closure buffer.
   EventFn current_done_;
   SimDuration busy_time_ = 0;
+  obs::CounterHandle ops_total_;      ///< vs_core_ops_total
+  obs::CounterHandle busy_ns_total_;  ///< vs_core_busy_ns_total
+  obs::GaugeHandle queue_depth_;      ///< vs_core_queue_depth (incl. running)
 };
 
 }  // namespace vs::sim

@@ -48,7 +48,9 @@ class TraceRecorder {
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
   }
-  void clear() noexcept { spans_.clear(); }
+  /// Drops all spans AND releases their capacity (swap idiom): long sweep
+  /// runs that toggle tracing must not retain peak span memory.
+  void clear() noexcept { std::vector<Span>().swap(spans_); }
 
  private:
   bool enabled_ = false;

@@ -1,7 +1,10 @@
 #include "util/log.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace vs::util {
@@ -24,7 +27,34 @@ const char* level_name(LogLevel level) {
     default: return "?";
   }
 }
+// VS_LOG is applied exactly once, at static-init time, mirroring how
+// VS_JOBS resolves the sweep worker count.
+struct EnvInit {
+  EnvInit() { Log::init_from_env(); }
+};
+const EnvInit g_env_init;
+
 }  // namespace
+
+LogLevel parse_log_level(const std::string& s, LogLevel fallback) noexcept {
+  std::string lower = s;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return fallback;
+}
+
+void Log::init_from_env() {
+  if (const char* env = std::getenv("VS_LOG"); env != nullptr && *env != '\0') {
+    set_level(parse_log_level(env, level()));
+  }
+}
 
 void Log::set_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);

@@ -11,12 +11,23 @@ namespace vs::util {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive); unrecognised strings return `fallback`.
+[[nodiscard]] LogLevel parse_log_level(const std::string& s,
+                                       LogLevel fallback) noexcept;
+
 /// Global log configuration. Default level is kWarn so simulations stay
-/// quiet in tests and benches; examples raise it to kInfo.
+/// quiet in tests and benches; examples raise it to kInfo. The VS_LOG
+/// environment variable overrides the default at startup (resolved once,
+/// like VS_JOBS); explicit set_level() calls still win afterwards.
 class Log {
  public:
   static void set_level(LogLevel level) noexcept;
   static LogLevel level() noexcept;
+
+  /// Applies VS_LOG to the global level; unset/invalid values leave it
+  /// untouched. Runs automatically at static-init time; exposed for tests.
+  static void init_from_env();
 
   /// Installs a callback returning the current simulation time in ns, used
   /// to prefix messages. Pass nullptr to clear.

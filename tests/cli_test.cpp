@@ -1,7 +1,10 @@
 // Tests for the command-line flag parser.
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "util/cli.h"
+#include "util/log.h"
 
 namespace vs::util {
 namespace {
@@ -58,6 +61,34 @@ TEST(Cli, FlagFollowedByFlagIsBoolean) {
   CliArgs args = parse({"--a", "--b", "value"});
   EXPECT_EQ(args.get("a"), "true");
   EXPECT_EQ(args.get("b"), "value");
+}
+
+TEST(Log, ParseLogLevelIsCaseInsensitiveWithFallback) {
+  EXPECT_EQ(parse_log_level("trace", LogLevel::kWarn), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Log, InitFromEnvAppliesVsLogOnce) {
+  LogLevel saved = Log::level();
+  ::setenv("VS_LOG", "debug", 1);
+  Log::init_from_env();
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+  // Invalid values leave the level untouched.
+  ::setenv("VS_LOG", "shouty", 1);
+  Log::init_from_env();
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+  // Unset leaves it untouched too.
+  ::unsetenv("VS_LOG");
+  Log::set_level(LogLevel::kInfo);
+  Log::init_from_env();
+  EXPECT_EQ(Log::level(), LogLevel::kInfo);
+  Log::set_level(saved);
 }
 
 }  // namespace

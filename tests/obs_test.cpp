@@ -1,0 +1,488 @@
+// Telemetry subsystem tests: registry semantics, histogram math, exporter
+// round-trips, sampler determinism, and the pinned guarantee that enabling
+// telemetry does not perturb simulation results.
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "metrics/experiment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/telemetry.h"
+#include "sim/simulator.h"
+#include "util/cli.h"
+#include "workload/generator.h"
+
+namespace vs::obs {
+namespace {
+
+// ------------------------------------------------------------------ helpers
+
+std::int64_t sum_counters(const MetricsRegistry& registry,
+                          const std::string& name) {
+  std::int64_t total = 0;
+  for (const auto& row : registry.counters()) {
+    if (row.name == name) total += row.cell.value();
+  }
+  return total;
+}
+
+double sum_gauges(const MetricsRegistry& registry, const std::string& name) {
+  double total = 0;
+  for (const auto& row : registry.gauges()) {
+    if (row.name == name) total += row.cell.value();
+  }
+  return total;
+}
+
+/// Minimal parser for the flat JSON objects the JSONL exporter emits:
+/// `{"key":value,...}` with numeric values and backslash-escaped keys.
+/// Returns key/value pairs in order; fails the test on malformed input.
+std::vector<std::pair<std::string, double>> parse_flat_json(
+    const std::string& line) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t i = 0;
+  auto fail = [&](const char* why) {
+    ADD_FAILURE() << why << " at offset " << i << " in: " << line;
+  };
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    fail("not an object");
+    return out;
+  }
+  i = 1;
+  while (i < line.size() - 1) {
+    if (line[i] != '"') {
+      fail("expected key quote");
+      return out;
+    }
+    ++i;
+    std::string key;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        key += line[i + 1];
+        i += 2;
+      } else {
+        key += line[i++];
+      }
+    }
+    ++i;  // closing quote
+    if (i >= line.size() || line[i] != ':') {
+      fail("expected colon");
+      return out;
+    }
+    ++i;
+    std::size_t end = line.find_first_of(",}", i);
+    char* parsed_end = nullptr;
+    std::string num = line.substr(i, end - i);
+    double v = std::strtod(num.c_str(), &parsed_end);
+    if (parsed_end == num.c_str() || *parsed_end != '\0') {
+      fail("value is not a number");
+      return out;
+    }
+    out.emplace_back(std::move(key), v);
+    i = end;
+    if (line[i] == ',') ++i;
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, RegistrationIsIdempotentWithStableCells) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("vs_ops_total", {{"board", "fpga0"}});
+  a.add(3);
+  Counter& b = registry.counter("vs_ops_total", {{"board", "fpga0"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3);
+  // Different labels are a different cell.
+  Counter& c = registry.counter("vs_ops_total", {{"board", "fpga1"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.counters().size(), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, FindReturnsNullForUnknownInstrument) {
+  MetricsRegistry registry;
+  registry.gauge("vs_depth", {{"core", "c0"}}).set(4.0);
+  EXPECT_NE(registry.find_gauge("vs_depth", {{"core", "c0"}}), nullptr);
+  EXPECT_EQ(registry.find_gauge("vs_depth", {{"core", "c1"}}), nullptr);
+  EXPECT_EQ(registry.find_counter("vs_depth", {{"core", "c0"}}), nullptr);
+  EXPECT_EQ(registry.find_histogram("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, FullNameFollowsPrometheusConventions) {
+  EXPECT_EQ(MetricsRegistry::full_name("vs_x_total", {}), "vs_x_total");
+  EXPECT_EQ(MetricsRegistry::full_name(
+                "vs_x_total", {{"board", "fpga0"}, {"state", "Free"}}),
+            "vs_x_total{board=\"fpga0\",state=\"Free\"}");
+}
+
+TEST(MetricsHandles, NullHandlesAreNoOps) {
+  CounterHandle c;
+  GaugeHandle g;
+  HistogramHandle h;
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_FALSE(static_cast<bool>(h));
+  c.add();        // must not crash
+  g.set(1.0);
+  g.add(2.0);
+  h.observe(3.0);
+}
+
+TEST(MetricsHandles, BoundHandlesUpdateTheirCell) {
+  MetricsRegistry registry;
+  CounterHandle c(&registry.counter("vs_n_total"));
+  GaugeHandle g(&registry.gauge("vs_g"));
+  HistogramHandle h(&registry.histogram("vs_h_ms", {1.0, 10.0}));
+  EXPECT_TRUE(static_cast<bool>(c));
+  c.add(5);
+  g.set(2.0);
+  g.add(0.5);
+  h.observe(4.0);
+  EXPECT_EQ(registry.find_counter("vs_n_total")->value(), 5);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("vs_g")->value(), 2.5);
+  EXPECT_EQ(registry.find_histogram("vs_h_ms")->count(), 1u);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketsFollowLeSemantics) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(1.0);  // == bound -> that bucket (le semantics)
+  h.observe(2.5);
+  h.observe(9.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 12.5 / 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(Histogram, QuantileInterpolatesAndClampsToMax) {
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 8; ++i) h.observe(5.0);
+  h.observe(15.0);
+  h.observe(99.0);  // overflow
+  // p50 lands inside the first bucket (0..10].
+  double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 10.0);
+  // p99/p100 land in the overflow bucket and resolve to the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
+}
+
+TEST(Histogram, DefaultMsBoundsAreAscending) {
+  auto bounds = default_ms_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------------------------------------------------------------- exporters
+
+TEST(PrometheusExport, LinesParseAndHistogramSeriesAreConsistent) {
+  MetricsRegistry registry;
+  registry.counter("vs_ops_total", {{"board", "fpga0"}}).add(7);
+  registry.counter("vs_ops_total", {{"board", "fpga1"}}).add(2);
+  registry.gauge("vs_depth").set(3.5);
+  Histogram& h = registry.histogram("vs_lat_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  std::string text = prometheus_text(registry);
+  // Every non-comment line must be `name{labels} value` with a numeric
+  // value; `# TYPE` appears exactly once per metric name.
+  std::regex sample_re(
+      R"(^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9.+eEinf]+$)");
+  int type_ops = 0, bucket_lines = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE", 0) == 0) {
+      if (line.find(" vs_ops_total ") != std::string::npos) ++type_ops;
+      continue;
+    }
+    EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+    if (line.rfind("vs_lat_ms_bucket", 0) == 0) ++bucket_lines;
+  }
+  EXPECT_EQ(type_ops, 1);
+  EXPECT_EQ(bucket_lines, 3);  // le="1", le="10", le="+Inf"
+  EXPECT_NE(text.find("vs_ops_total{board=\"fpga0\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("vs_depth 3.5"), std::string::npos);
+  // The +Inf bucket is cumulative == _count.
+  EXPECT_NE(text.find("vs_lat_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("vs_lat_ms_count 3"), std::string::npos);
+}
+
+TEST(JsonlExport, SnapshotsRoundTripIncludingNarrowEarlyRows) {
+  MetricsRegistry registry;
+  Sampler sampler(registry, sim::ms(10));
+  Gauge& g = registry.gauge("vs_g", {{"board", "fpga0"}});
+  g.set(1.5);
+  sampler.sample_now(sim::ms(10));  // narrow: one gauge, no counters
+  registry.counter("vs_c_total").add(4);
+  g.set(2.5);
+  sampler.sample_now(sim::ms(20));  // wide: gauge + counter
+
+  std::string jsonl = timeseries_jsonl(sampler, registry);
+  std::istringstream in(jsonl);
+  std::string line;
+  std::vector<std::vector<std::pair<std::string, double>>> rows;
+  while (std::getline(in, line)) rows.push_back(parse_flat_json(line));
+  ASSERT_EQ(rows.size(), 2u);
+
+  ASSERT_EQ(rows[0].size(), 2u);  // t_ms + the one gauge
+  EXPECT_EQ(rows[0][0].first, "t_ms");
+  EXPECT_DOUBLE_EQ(rows[0][0].second, 10.0);
+  EXPECT_EQ(rows[0][1].first, "vs_g{board=\"fpga0\"}");
+  EXPECT_DOUBLE_EQ(rows[0][1].second, 1.5);
+
+  ASSERT_EQ(rows[1].size(), 3u);  // t_ms + gauge + counter
+  EXPECT_DOUBLE_EQ(rows[1][0].second, 20.0);
+  EXPECT_DOUBLE_EQ(rows[1][1].second, 2.5);
+  EXPECT_EQ(rows[1][2].first, "vs_c_total");
+  EXPECT_DOUBLE_EQ(rows[1][2].second, 4.0);
+}
+
+TEST(RunReportExport, ContainsConfigEchoAndHistogramPercentiles) {
+  MetricsRegistry registry;
+  registry.counter("vs_ops_total").add(11);
+  registry.histogram("vs_lat_ms", {1.0, 10.0}).observe(5.0);
+  RunInfo info;
+  info.experiment = "unit";
+  info.config = {{"seed", "2025"}, {"note", "a\"b\\c"}};
+
+  std::string json = run_report_json(registry, info, nullptr);
+  // Structural sanity: balanced braces/brackets.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"experiment\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": \"2025\""), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(json.find("vs_ops_total"), std::string::npos);
+  for (const char* key : {"\"count\":", "\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Dashboard, RendersEverySection) {
+  MetricsRegistry registry;
+  registry.counter("vs_ops_total", {{"board", "fpga0"}}).add(42);
+  registry.gauge("vs_depth").set(2.0);
+  Histogram& h = registry.histogram("vs_lat_ms", default_ms_bounds());
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i));
+  std::string dash = format_dashboard(registry, "unit test");
+  EXPECT_NE(dash.find("unit test"), std::string::npos);
+  EXPECT_NE(dash.find("vs_ops_total{board=\"fpga0\"}"), std::string::npos);
+  EXPECT_NE(dash.find("42"), std::string::npos);
+  EXPECT_NE(dash.find("vs_depth"), std::string::npos);
+  EXPECT_NE(dash.find("vs_lat_ms"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ sampler
+
+TEST(Sampler, TicksAtFixedCadenceAndLetsTheSimulatorDrain) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("vs_g");
+  Sampler sampler(registry, sim::ms(50));
+  sim::Simulator sim;
+  sim.schedule(sim::ms(10), [&] { g.set(1.0); });
+  sim.schedule(sim::ms(220), [&] { g.set(2.0); });
+  sampler.start(sim);
+  sim.run();
+  EXPECT_TRUE(sim.idle());  // the sampler must not keep the queue alive
+
+  // Ticks at 50/100/150/200 while the 220 ms event is pending, then one
+  // final tick at 250 that finds the queue idle and does not re-arm.
+  ASSERT_EQ(sampler.snapshots().size(), 5u);
+  const auto& snaps = sampler.snapshots();
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i].time, sim::ms(50) * static_cast<sim::SimTime>(i + 1));
+    ASSERT_EQ(snaps[i].gauge_count, 1u);
+    ASSERT_EQ(snaps[i].values.size(), 1u);
+  }
+  EXPECT_DOUBLE_EQ(snaps[0].values[0], 1.0);   // after the 10 ms event
+  EXPECT_DOUBLE_EQ(snaps[4].values[0], 2.0);   // after the 220 ms event
+}
+
+// --------------------------------------------- determinism + instrumentation
+
+TEST(TelemetryDeterminism, SingleBoardResultsAreBitIdenticalWithMetricsOn) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 15;
+  util::Rng rng(2025);
+  auto seq = workload::generate_sequence(config, rng);
+
+  metrics::RunResult plain = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq);
+
+  obs::Telemetry telemetry;
+  metrics::RunOptions opts;
+  opts.telemetry = &telemetry;
+  metrics::RunResult instrumented = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, opts);
+
+  ASSERT_EQ(instrumented.response_ms.size(), plain.response_ms.size());
+  for (std::size_t i = 0; i < plain.response_ms.size(); ++i) {
+    EXPECT_EQ(instrumented.response_ms[i], plain.response_ms[i]) << i;
+  }
+  EXPECT_EQ(instrumented.makespan, plain.makespan);
+  EXPECT_EQ(instrumented.completed, plain.completed);
+  EXPECT_EQ(instrumented.counters.items_executed,
+            plain.counters.items_executed);
+  // And the sampler actually ran.
+  EXPECT_GT(telemetry.sampler().snapshots().size(), 0u);
+  // Slot-state gauges partition the board's slots: their sum is a whole
+  // number of slots at all times, including at end of run.
+  double slots = sum_gauges(telemetry.registry(), "vs_slot_state_count");
+  EXPECT_GT(slots, 0.0);
+  EXPECT_DOUBLE_EQ(slots, std::floor(slots));
+}
+
+TEST(TelemetryDeterminism, ClusterResultsAreBitIdenticalWithMetricsOn) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 30;
+  util::Rng rng(2025);
+  auto seq = workload::generate_sequence(config, rng);
+
+  metrics::ClusterRunResult plain =
+      metrics::run_cluster(suite, seq, cluster::ClusterOptions{});
+
+  obs::Telemetry telemetry;
+  metrics::ClusterRunResult instrumented = metrics::run_cluster(
+      suite, seq, cluster::ClusterOptions{}, sim::seconds(36000.0),
+      &telemetry);
+
+  ASSERT_EQ(instrumented.response_ms.size(), plain.response_ms.size());
+  for (std::size_t i = 0; i < plain.response_ms.size(); ++i) {
+    EXPECT_EQ(instrumented.response_ms[i], plain.response_ms[i]) << i;
+  }
+  ASSERT_EQ(instrumented.dswitch_trace.size(), plain.dswitch_trace.size());
+  for (std::size_t i = 0; i < plain.dswitch_trace.size(); ++i) {
+    EXPECT_EQ(instrumented.dswitch_trace[i].time,
+              plain.dswitch_trace[i].time);
+    EXPECT_EQ(instrumented.dswitch_trace[i].value,
+              plain.dswitch_trace[i].value);
+  }
+  ASSERT_EQ(instrumented.switches.size(), plain.switches.size());
+  for (std::size_t i = 0; i < plain.switches.size(); ++i) {
+    EXPECT_EQ(instrumented.switches[i].time, plain.switches[i].time);
+    EXPECT_EQ(instrumented.switches[i].overhead, plain.switches[i].overhead);
+  }
+}
+
+TEST(TelemetryInstrumentation, ClusterRunPopulatesAllInstrumentFamilies) {
+  // The fig5 stress cell: every instrument family — PCAP, cores, slots,
+  // D_switch policy loop, Aurora link — must end the run non-zero
+  // (acceptance criterion for the run report).
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 50;
+  util::Rng rng(2025);
+  auto seq = workload::generate_sequence(config, rng);
+
+  obs::Telemetry telemetry;
+  auto result = metrics::run_cluster(suite, seq, cluster::ClusterOptions{},
+                                     sim::seconds(36000.0), &telemetry);
+  ASSERT_GT(result.completed, 0);
+  ASSERT_FALSE(result.switches.empty());  // guarantees Aurora traffic
+
+  const MetricsRegistry& registry = telemetry.registry();
+  EXPECT_GT(sum_counters(registry, "vs_pcap_loads_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_pcap_bytes_loaded_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_core_ops_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_runtime_items_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_dswitch_evaluations_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_dswitch_switches_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_aurora_transfers_total"), 0);
+  EXPECT_GT(sum_counters(registry, "vs_aurora_bytes_total"), 0);
+  bool slot_gauges = false;
+  for (const auto& row : registry.gauges()) {
+    if (row.name == "vs_slot_state_count") slot_gauges = true;
+  }
+  EXPECT_TRUE(slot_gauges);
+
+  // The run report surfaces all of them.
+  std::string report =
+      run_report_json(registry, telemetry.info(), &telemetry.sampler());
+  for (const char* name :
+       {"vs_pcap_loads_total", "vs_core_ops_total", "vs_slot_state_count",
+        "vs_dswitch_evaluations_total", "vs_aurora_transfers_total"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Telemetry, WriteOutputsThrowsOnUnopenablePath) {
+  Telemetry telemetry;
+  EXPECT_THROW(telemetry.write_outputs("/nonexistent-dir/metrics"),
+               std::runtime_error);
+}
+
+TEST(Telemetry, ResolveMetricsOutPrefersFlagThenEnv) {
+  const char* argv[] = {"prog", "--metrics-out", "fromflag"};
+  util::CliArgs args(3, argv);
+  ::setenv("VS_METRICS", "fromenv", 1);
+  EXPECT_EQ(resolve_metrics_out(&args), "fromflag");
+  util::CliArgs no_flag(1, argv);
+  EXPECT_EQ(resolve_metrics_out(&no_flag), "fromenv");
+  ::unsetenv("VS_METRICS");
+  EXPECT_EQ(resolve_metrics_out(&no_flag), "");
+  EXPECT_EQ(resolve_metrics_out(nullptr), "");
+}
+
+}  // namespace
+}  // namespace vs::obs

@@ -1,0 +1,71 @@
+// Chrome trace-event export: golden-output pin of the exact JSON produced
+// for a fixed span log, plus the empty-log and unopenable-file edge cases,
+// and the TraceRecorder::clear() capacity-release contract.
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+#include "sim/trace_export.h"
+
+namespace vs::sim {
+namespace {
+
+TEST(ChromeTraceExport, GoldenOutputForFixedSpanLog) {
+  std::vector<Span> spans;
+  spans.push_back(Span{1000, 3000, "slot L0", "App1.T1 PR",
+                       SpanKind::kReconfig});
+  spans.push_back(Span{2500, 5000, "core PS0", "pass \"hot\"\nb\\c",
+                       SpanKind::kCoreOp});
+
+  std::ostringstream os;
+  write_chrome_trace(spans, os);
+
+  // Pinned byte-for-byte: tids follow first appearance (slot L0 = 1,
+  // core PS0 = 2) while the thread-name metadata lines iterate the lane
+  // map in lexicographic order; timestamps are ns / 1e3 microseconds.
+  const std::string expected =
+      "["
+      "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"core PS0\"}},"
+      "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"slot L0\"}},"
+      "\n{\"name\":\"App1.T1 PR\",\"cat\":\"reconfig\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":1,\"ts\":1,\"dur\":2},"
+      "\n{\"name\":\"pass \\\"hot\\\"\\nb\\\\c\",\"cat\":\"core\","
+      "\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":2.5,\"dur\":2.5}"
+      "\n]\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ChromeTraceExport, EmptySpanLogIsAnEmptyJsonArray) {
+  std::ostringstream os;
+  write_chrome_trace({}, os);
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+TEST(ChromeTraceExport, UnopenableFileThrows) {
+  EXPECT_THROW(
+      write_chrome_trace_file({}, "/nonexistent-dir/trace.json"),
+      std::runtime_error);
+}
+
+TEST(TraceRecorder, ClearReleasesSpanCapacity) {
+  TraceRecorder recorder;
+  recorder.enable();
+  for (int i = 0; i < 1000; ++i) {
+    recorder.add(i, i + 1, "lane", "label", SpanKind::kMarker);
+  }
+  ASSERT_EQ(recorder.spans().size(), 1000u);
+  ASSERT_GT(recorder.spans().capacity(), 0u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.spans().empty());
+  // The swap idiom must release the backing allocation, not just size().
+  EXPECT_EQ(recorder.spans().capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace vs::sim
