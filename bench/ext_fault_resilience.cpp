@@ -1,0 +1,192 @@
+// Extension: fault resilience of the two-board cluster.
+//
+// A stress workload runs under increasing board-crash hazard rates (with
+// proportional link-flap and slot-SEU hazards, plus one scripted crash of
+// the active board early in the run so every nonzero rate is guaranteed a
+// direct hit). Three failure-handling modes are compared:
+//
+//   no-recovery  -- displaced apps die with the board
+//   kill-restart -- displaced apps restart from scratch on a survivor
+//   recovery     -- paused apps live-migrate with their progress (the
+//                   VersaSlot migration path reused as failure recovery)
+//
+// Because lost apps never complete, plain mean response over completions
+// would reward dropping work. The headline metric is therefore the
+// *censored* mean response: apps not completed by the evaluation horizon
+// T_eval count as (T_eval - arrival). Inflation is each mode's censored
+// mean relative to its own fault-free (rate 0) run. The (rate x mode x
+// sequence) grid runs on metrics::SweepRunner::map (--jobs N / VS_JOBS);
+// the fault schedule for a given rate and sequence is seed-derived, so it
+// is identical across the three modes and any worker count.
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "faults/scenario.h"
+#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "obs/telemetry.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace vs;
+
+  util::CliArgs args(argc, argv);
+  metrics::SweepRunner runner(util::resolve_jobs(&args));
+  const int apps_per_seq = static_cast<int>(args.get_int("apps", 40));
+  const int n_seqs_arg = static_cast<int>(args.get_int("seqs", 2));
+  const std::string metrics_out = obs::resolve_metrics_out(&args);
+
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = apps_per_seq;
+  auto sequences = workload::generate_sequences(config, n_seqs_arg, 2025);
+  const std::size_t n_seqs = sequences.size();
+
+  // Hazard horizon and censoring point. Lost apps are charged as if they
+  // completed exactly at T_eval; completed apps always count their true
+  // response, so the metric never rewards dropping work.
+  const sim::SimTime t_eval = sim::seconds(120.0);
+
+  const double crash_rates[] = {0.0, 0.02, 0.05, 0.1};  // per board-second
+  struct Mode {
+    const char* name;
+    bool enable_recovery;
+    bool kill_restart;
+  };
+  const Mode modes[] = {
+      {"no-recovery", false, false},
+      {"kill-restart", true, true},
+      {"recovery", true, false},
+  };
+
+  auto scenario_for = [&](double rate, std::size_t seq) {
+    faults::FaultScenario s;
+    if (rate <= 0.0) return s;  // disabled: no fault plane at all
+    s.seed = 7000 + static_cast<std::uint64_t>(seq);
+    s.hazards.board_crash_per_s = rate;
+    s.hazards.link_flap_per_s = rate;
+    s.hazards.slot_seu_per_s = 2.0 * rate;
+    s.horizon = t_eval;
+    // Guaranteed direct hit: the initial pool is Only.Little, so plane
+    // board 0 (OL0) is the active board 2 s into the congested phase.
+    s.timeline.push_back(
+        {sim::seconds(2.0), faults::FaultKind::kBoardCrash, 0, -1});
+    return s;
+  };
+
+  std::cout << "=== Extension: fault resilience (" << apps_per_seq
+            << " stress apps, " << n_seqs
+            << " sequences pooled; censored at t="
+            << sim::to_seconds(t_eval) << "s) ===\n\n";
+
+  auto cells = runner.map<metrics::ClusterRunResult>(
+      std::size(crash_rates) * std::size(modes) * n_seqs,
+      [&](std::size_t i) {
+        const double rate = crash_rates[i / (std::size(modes) * n_seqs)];
+        const Mode& mode = modes[(i / n_seqs) % std::size(modes)];
+        const std::size_t seq = i % n_seqs;
+        cluster::ClusterOptions options;
+        options.faults = scenario_for(rate, seq);
+        options.recovery.enable_recovery = mode.enable_recovery;
+        options.recovery.kill_restart = mode.kill_restart;
+        return metrics::run_cluster(suite, sequences[seq], options);
+      });
+
+  util::Table table({"crash/s", "mode", "done", "censored ms", "inflation",
+                     "evac", "restart", "lost", "MTTR ms", "avail"});
+  std::size_t cursor = 0;
+  // Per-mode fault-free baseline for the inflation column (filled by the
+  // rate 0 pass, which the grid orders first).
+  double baseline_ms[std::size(modes)] = {};
+  bool ordering_ok = true;
+  for (std::size_t ri = 0; ri < std::size(crash_rates); ++ri) {
+    for (std::size_t mi = 0; mi < std::size(modes); ++mi) {
+      double censored_sum_ms = 0;
+      int done = 0, submitted = 0;
+      cluster::RecoveryStats stats;
+      double avail = 0;
+      for (std::size_t si = 0; si < n_seqs; ++si) {
+        const auto& r = cells[cursor++];
+        done += r.completed;
+        submitted += r.submitted;
+        for (double ms : r.response_ms) censored_sum_ms += ms;
+        // Charge every app the run did not complete with (T_eval - arrival):
+        // match completions against the sequence's arrival multiset.
+        std::multiset<sim::SimTime> open;
+        for (const apps::AppArrival& a : sequences[si]) {
+          open.insert(a.arrival);
+        }
+        for (const runtime::CompletedApp& c : r.apps) {
+          auto it = open.find(c.arrival);
+          if (it != open.end()) open.erase(it);
+        }
+        for (sim::SimTime arrival : open) {
+          censored_sum_ms += sim::to_ms(t_eval - arrival);
+        }
+        stats.apps_evacuated += r.recovery.apps_evacuated;
+        stats.apps_restarted += r.recovery.apps_restarted;
+        stats.apps_lost += r.recovery.apps_lost;
+        stats.apps_shed += r.recovery.apps_shed;
+        stats.boards_crashed += r.recovery.boards_crashed;
+        stats.mttr_total += r.recovery.mttr_total;
+        stats.mttr_count += r.recovery.mttr_count;
+        avail += r.availability;
+      }
+      avail /= static_cast<double>(n_seqs);
+      double censored_mean = censored_sum_ms / static_cast<double>(submitted);
+      if (crash_rates[ri] == 0.0) baseline_ms[mi] = censored_mean;
+      if (baseline_ms[mi] <= 0) ordering_ok = false;
+      double inflation =
+          baseline_ms[mi] > 0 ? censored_mean / baseline_ms[mi] : 0;
+      table.add_row();
+      table.cell(crash_rates[ri], 2);
+      table.cell(modes[mi].name);
+      table.cell(std::to_string(done) + "/" + std::to_string(submitted));
+      table.cell(censored_mean, 1);
+      table.cell(inflation, 3);
+      table.cell(static_cast<std::int64_t>(stats.apps_evacuated));
+      table.cell(static_cast<std::int64_t>(stats.apps_restarted));
+      table.cell(static_cast<std::int64_t>(stats.apps_lost));
+      table.cell(stats.mttr_ms_mean(), 1);
+      table.cell(avail, 4);
+    }
+  }
+  table.print(std::cout);
+  if (!ordering_ok) {
+    std::cout << "\nWARNING: rate-0 baseline missing; inflation column "
+                 "invalid\n";
+  }
+  std::cout << "\n(recovery evacuates every app with DDR-resident progress "
+               "over the Aurora link and restarts only the rest, so its "
+               "censored mean tracks the fault-free run; no-recovery "
+               "forfeits every app caught on the crashed board and pays "
+               "T_eval for each)\n";
+
+  // Optional telemetry capture (--metrics-out PREFIX or VS_METRICS):
+  // replay the harshest recovery cell instrumented, so the run report
+  // carries the fault counters, evacuation latency, MTTR and per-board
+  // availability.
+  if (!metrics_out.empty()) {
+    obs::Telemetry telemetry;
+    cluster::ClusterOptions options;
+    options.faults =
+        scenario_for(crash_rates[std::size(crash_rates) - 1], 0);
+    options.recovery.enable_recovery = true;
+    (void)metrics::run_cluster(suite, sequences[0], options,
+                               sim::seconds(36000.0), &telemetry);
+    telemetry.info().config.emplace_back("bench", "ext_fault_resilience");
+    telemetry.info().config.emplace_back("mode", "recovery");
+    telemetry.write_outputs(metrics_out);
+    std::cout << "Telemetry written to " << metrics_out
+              << ".{prom,jsonl,report.json}\n";
+  }
+  return 0;
+}

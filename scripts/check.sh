@@ -35,6 +35,14 @@ test -s build/telemetry_demo_smoke.prom
 test -s build/telemetry_demo_smoke.jsonl
 test -s build/telemetry_demo_smoke.report.json
 
+echo "== fault-injection smoke (recovery metrics in exports) =="
+cmake --build build -j "$JOBS" --target ext_fault_resilience
+./build/bench/ext_fault_resilience --apps 12 --seqs 1 \
+  --metrics-out build/fault_smoke >/dev/null
+grep -q 'vs_recovery_mttr_ms' build/fault_smoke.prom
+grep -q 'vs_faults_injected_total' build/fault_smoke.prom
+grep -q 'vs_board_available' build/fault_smoke.prom
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== ThreadSanitizer: sweep runner =="
   cmake -B build-tsan -S . -DVS_SANITIZE=thread
@@ -50,7 +58,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*'
 fi
 
 echo "== all checks passed =="

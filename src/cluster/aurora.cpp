@@ -1,12 +1,14 @@
 #include "cluster/aurora.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace vs::cluster {
 
 void AuroraLink::transfer(std::int64_t bytes, sim::EventFn on_done) {
   Pending p{bytes, std::move(on_done), sim_.now()};
-  if (busy_) {
+  if (busy_ || !up_) {
     queue_.push_back(std::move(p));
     return;
   }
@@ -20,19 +22,33 @@ void AuroraLink::bind_metrics(obs::MetricsRegistry& registry) {
       obs::CounterHandle{&registry.counter("vs_aurora_bytes_total")};
   stall_ns_total_ =
       obs::CounterHandle{&registry.counter("vs_aurora_stall_ns_total")};
+  aborts_total_ =
+      obs::CounterHandle{&registry.counter("vs_aurora_aborts_total")};
+  retries_total_ =
+      obs::CounterHandle{&registry.counter("vs_aurora_retries_total")};
+  link_up_gauge_ = obs::GaugeHandle{&registry.gauge("vs_aurora_link_up")};
+  link_up_gauge_.set(up_ ? 1.0 : 0.0);
 }
 
 void AuroraLink::start(Pending p) {
+  assert(up_);
   busy_ = true;
-  ++transfers_;
-  bytes_ += p.bytes;
-  transfers_total_.add();
-  bytes_total_.add(p.bytes);
-  // Stall: time the transfer sat behind an earlier one on the serial link.
-  stall_ns_total_.add(sim_.now() - p.enqueued);
+  if (!p.counted) {
+    ++transfers_;
+    bytes_ += p.bytes;
+    transfers_total_.add();
+    bytes_total_.add(p.bytes);
+    // Stall: time the transfer sat behind an earlier one on the serial link.
+    stall_ns_total_.add(sim_.now() - p.enqueued);
+    p.counted = true;
+  } else {
+    retries_total_.add();
+  }
+  // An aborted attempt restarts from scratch: Aurora is a streaming
+  // point-to-point protocol without mid-transfer resume.
   sim::SimDuration t = params_.transfer_time(p.bytes);
   current_ = std::move(p);
-  sim_.schedule(t, [this] { finish_transfer(); });
+  finish_event_ = sim_.schedule(t, [this] { finish_transfer(); });
 }
 
 void AuroraLink::finish_transfer() {
@@ -40,11 +56,52 @@ void AuroraLink::finish_transfer() {
   Pending done = std::move(current_);
   busy_ = false;
   if (done.on_done) done.on_done();
-  if (!busy_ && !queue_.empty()) {
+  start_next_if_idle();
+}
+
+void AuroraLink::start_next_if_idle() {
+  if (!busy_ && up_ && !queue_.empty()) {
     Pending next = std::move(queue_.front());
     queue_.pop_front();
     start(std::move(next));
   }
+}
+
+sim::SimDuration AuroraLink::backoff_for(int attempts) const {
+  if (attempts <= 0) return 0;
+  return params_.retry_backoff << std::min(attempts - 1, 6);
+}
+
+void AuroraLink::set_down() {
+  if (!up_) return;
+  up_ = false;
+  link_up_gauge_.set(0.0);
+  if (busy_) {
+    // Abort the in-flight transfer: cancel its completion and park it at
+    // the head of the queue so the retry order matches the request order.
+    sim_.cancel(finish_event_);
+    busy_ = false;
+    Pending aborted = std::move(current_);
+    ++aborted.attempts;
+    ++aborts_;
+    aborts_total_.add();
+    queue_.push_front(std::move(aborted));
+  }
+}
+
+void AuroraLink::set_up() {
+  if (up_) return;
+  up_ = true;
+  link_up_gauge_.set(1.0);
+  if (queue_.empty()) return;
+  sim::SimDuration delay = backoff_for(queue_.front().attempts);
+  if (delay <= 0) {
+    start_next_if_idle();
+    return;
+  }
+  // Exponential backoff before the retry; the link may flap again in the
+  // meantime, so the resume re-checks state when it fires.
+  sim_.schedule(delay, [this] { start_next_if_idle(); });
 }
 
 }  // namespace vs::cluster

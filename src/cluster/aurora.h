@@ -1,6 +1,12 @@
 // Aurora link model: the GT-transceiver (zSFP+) point-to-point connection
 // between boards used for cross-board live migration. Transfers are
 // serialised on the link and cost setup + bytes/bandwidth.
+//
+// The link can flap (fault plane): set_down() aborts the in-flight transfer
+// — its completion never fires and it returns to the head of the queue —
+// and set_up() resumes the queue after an exponential backoff keyed to the
+// head transfer's abort count. Transfers requested while the link is down
+// simply queue; none are ever lost.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +26,18 @@ class AuroraLink {
   /// Queues a DMA transfer of `bytes`; `on_done` fires at completion.
   void transfer(std::int64_t bytes, sim::EventFn on_done);
 
+  /// Fault plane: link down. Aborts the in-flight transfer (it re-queues at
+  /// the front with its attempt count bumped) and stalls the queue.
+  void set_down();
+  /// Fault plane: link restored. The queue resumes after the head
+  /// transfer's retry backoff (immediately if it was never aborted).
+  void set_up();
+  [[nodiscard]] bool link_up() const noexcept { return up_; }
+
   [[nodiscard]] bool busy() const noexcept { return busy_; }
   [[nodiscard]] std::int64_t transfers() const noexcept { return transfers_; }
   [[nodiscard]] std::int64_t bytes_moved() const noexcept { return bytes_; }
+  [[nodiscard]] std::int64_t aborts() const noexcept { return aborts_; }
   [[nodiscard]] const fpga::LinkParams& params() const noexcept {
     return params_;
   }
@@ -36,9 +51,13 @@ class AuroraLink {
     std::int64_t bytes = 0;
     sim::EventFn on_done;
     sim::SimTime enqueued = 0;
+    int attempts = 0;     ///< times a flap aborted this transfer
+    bool counted = false; ///< transfers_/bytes_/stall accounted (first start)
   };
   void start(Pending p);
   void finish_transfer();
+  void start_next_if_idle();
+  [[nodiscard]] sim::SimDuration backoff_for(int attempts) const;
 
   sim::Simulator& sim_;
   fpga::LinkParams params_;
@@ -47,11 +66,17 @@ class AuroraLink {
   // captures only `this` and stays in the event queue's inline buffer.
   Pending current_;
   bool busy_ = false;
+  bool up_ = true;
+  sim::EventId finish_event_ = 0;  ///< valid only while busy_
   std::int64_t transfers_ = 0;
   std::int64_t bytes_ = 0;
+  std::int64_t aborts_ = 0;
   obs::CounterHandle transfers_total_;  ///< vs_aurora_transfers_total
   obs::CounterHandle bytes_total_;      ///< vs_aurora_bytes_total
   obs::CounterHandle stall_ns_total_;   ///< vs_aurora_stall_ns_total
+  obs::CounterHandle aborts_total_;     ///< vs_aurora_aborts_total
+  obs::CounterHandle retries_total_;    ///< vs_aurora_retries_total
+  obs::GaugeHandle link_up_gauge_;      ///< vs_aurora_link_up
 };
 
 }  // namespace vs::cluster

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <memory>
+#include <utility>
 
 #include "util/log.h"
 
@@ -48,6 +51,44 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
         fpga::FabricConfig::big_little(), options_.board_params));
   }
   activate_pool(options_.initial);
+
+  // Fault plane: constructed only when the scenario is enabled so the
+  // fault-free path stays byte-for-byte identical (no extra registry
+  // entries, no extra events, no plane lookups).
+  if (options_.faults.enabled()) {
+    fault_plane_ = std::make_unique<faults::FaultPlane>(sim_, options_.faults);
+    if (options_.metrics != nullptr) {
+      obs::MetricsRegistry& reg = *options_.metrics;
+      fault_plane_->bind_metrics(reg);
+      m_evacuated_ = obs::CounterHandle{
+          &reg.counter("vs_recovery_evacuated_apps_total")};
+      m_restarted_ = obs::CounterHandle{
+          &reg.counter("vs_recovery_restarted_apps_total")};
+      m_lost_ =
+          obs::CounterHandle{&reg.counter("vs_recovery_lost_apps_total")};
+      m_shed_ =
+          obs::CounterHandle{&reg.counter("vs_recovery_shed_apps_total")};
+      m_readmitted_ =
+          obs::CounterHandle{&reg.counter("vs_recovery_readmissions_total")};
+      m_evac_latency_ = obs::HistogramHandle{&reg.histogram(
+          "vs_recovery_evac_latency_ms", obs::default_ms_bounds())};
+      m_mttr_ = obs::HistogramHandle{
+          &reg.histogram("vs_recovery_mttr_ms", obs::default_ms_bounds())};
+    }
+    for (auto& b : boards_ol_) {
+      fault_plane_->add_board(*b);
+      plane_boards_.push_back(b.get());
+      plane_configs_.push_back(core::SwitchLoop::Config::kOnlyLittle);
+    }
+    for (auto& b : boards_bl_) {
+      fault_plane_->add_board(*b);
+      plane_boards_.push_back(b.get());
+      plane_configs_.push_back(core::SwitchLoop::Config::kBigLittle);
+    }
+    fault_plane_->set_handler(
+        [this](const faults::HealthEvent& e) { on_health_event(e); });
+    fault_plane_->start();
+  }
 }
 
 std::vector<fpga::Board*> Cluster::boards_for(
@@ -83,14 +124,25 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
   return static_cast<int>(epochs_.size()) - 1;
 }
 
+bool Cluster::board_usable(const fpga::Board* board) const {
+  if (fault_plane_ == nullptr) return true;
+  for (std::size_t i = 0; i < plane_boards_.size(); ++i) {
+    if (plane_boards_[i] == board) {
+      return fault_plane_->board_up(static_cast<int>(i));
+    }
+  }
+  return true;
+}
+
 void Cluster::activate_pool(core::SwitchLoop::Config config) {
   active_epochs_.clear();
   for (fpga::Board* board : boards_for(config)) {
+    if (!board_usable(board)) continue;  // down boards rejoin on reboot
     active_epochs_.push_back(new_epoch(config, *board));
   }
 }
 
-runtime::BoardRuntime& Cluster::least_loaded_active() {
+runtime::BoardRuntime* Cluster::least_loaded_or_null() {
   runtime::BoardRuntime* best = nullptr;
   int best_load = 0;
   for (int index : active_epochs_) {
@@ -102,6 +154,11 @@ runtime::BoardRuntime& Cluster::least_loaded_active() {
       best_load = load;
     }
   }
+  return best;
+}
+
+runtime::BoardRuntime& Cluster::least_loaded_active() {
+  runtime::BoardRuntime* best = least_loaded_or_null();
   assert(best != nullptr);
   return *best;
 }
@@ -110,9 +167,21 @@ void Cluster::submit_sequence(const workload::Sequence& sequence) {
   for (const apps::AppArrival& a : sequence) {
     ++submitted_;
     sim_.schedule_at(a.arrival, [this, a] {
-      runtime::BoardRuntime& rt = least_loaded_active();
-      rt.submit(suite_.at(static_cast<std::size_t>(a.spec_index)),
-                a.spec_index, a.batch, a.arrival, a.item_interval);
+      runtime::BoardRuntime* rt = least_loaded_or_null();
+      if (rt == nullptr) {
+        // Every board is down (fault plane only — the fault-free cluster
+        // always has an active pool). Hold the arrival for re-admission.
+        MigratedApp m;
+        m.spec_index = a.spec_index;
+        m.batch = a.batch;
+        m.arrival = a.arrival;
+        m.item_interval = a.item_interval;
+        m.state_bytes = 0;
+        readmit_queue_.push_back(ReadmitEntry{std::move(m), nullptr});
+        return;
+      }
+      rt->submit(suite_.at(static_cast<std::size_t>(a.spec_index)),
+                 a.spec_index, a.batch, a.arrival, a.item_interval);
       on_queue_update();
     });
   }
@@ -233,6 +302,20 @@ void Cluster::prewarm(core::SwitchLoop::Config config) {
 }
 
 void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
+  if (fault_plane_ != nullptr) {
+    for (fpga::Board* board : boards_for(target)) {
+      if (board_usable(board)) continue;
+      // A target board is down: revert the loop state (same as the
+      // pool-draining deferral) so a later sample can retrigger.
+      loop_ = core::SwitchLoop(options_.t1, options_.t2,
+                               target == core::SwitchLoop::Config::kBigLittle
+                                   ? core::SwitchLoop::Config::kOnlyLittle
+                                   : core::SwitchLoop::Config::kBigLittle);
+      VS_WARN << "switch to " << config_name(target)
+              << " deferred: target board down";
+      return;
+    }
+  }
   if (!pool_free(target)) {
     // The spare pool is still draining a previous epoch: cannot switch yet.
     // Revert the loop state so a later sample can retrigger.
@@ -295,6 +378,246 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
       }
     }
   });
+}
+
+// --- Fault plane and recovery ------------------------------------------
+
+void Cluster::on_health_event(const faults::HealthEvent& e) {
+  switch (e.kind) {
+    case faults::FaultKind::kBoardCrash: {
+      ++recovery_stats_.boards_crashed;
+      fpga::Board* board = plane_boards_.at(static_cast<std::size_t>(e.board));
+      // Crash every live epoch on this board (the active one, plus a
+      // draining origin epoch still finishing ongoing apps after a switch).
+      std::vector<MigratedApp> evacuable;
+      std::vector<MigratedApp> killed;
+      for (auto& ep : epochs_) {
+        if (ep->board != board) continue;
+        if (ep->runtime->crashed() || ep->runtime->drained()) continue;
+        runtime::BoardRuntime::CrashReport report = ep->runtime->crash();
+        std::move(report.evacuable.begin(), report.evacuable.end(),
+                  std::back_inserter(evacuable));
+        std::move(report.killed.begin(), report.killed.end(),
+                  std::back_inserter(killed));
+      }
+      active_epochs_.erase(
+          std::remove_if(active_epochs_.begin(), active_epochs_.end(),
+                         [&](int index) {
+                           return epochs_[static_cast<std::size_t>(index)]
+                                      ->board == board;
+                         }),
+          active_epochs_.end());
+      // Recovery acts after the detection latency (heartbeat + decision).
+      sim_.schedule(options_.recovery.detection_latency,
+                    [this, evacuable = std::move(evacuable),
+                     killed = std::move(killed), crash_time = e.time]() mutable {
+                      handle_crash(std::move(evacuable), std::move(killed),
+                                   crash_time);
+                    });
+      break;
+    }
+    case faults::FaultKind::kBoardReboot: {
+      ++recovery_stats_.boards_rebooted;
+      fpga::Board* board = plane_boards_.at(static_cast<std::size_t>(e.board));
+      // The reboot reloads the full bitstream: fresh slots, empty fabric.
+      board->reconfigure_fabric(board->fabric());
+      core::SwitchLoop::Config config =
+          plane_configs_.at(static_cast<std::size_t>(e.board));
+      if (config == loop_.config()) {
+        active_epochs_.push_back(new_epoch(config, *board));
+      } else if (active_epochs_.empty()) {
+        // The whole active pool is down: fail over to the rebooted board.
+        loop_ = core::SwitchLoop(options_.t1, options_.t2, config);
+        active_epochs_.push_back(new_epoch(config, *board));
+      }
+      drain_readmit_queue();
+      break;
+    }
+    case faults::FaultKind::kLinkDown:
+      ++recovery_stats_.link_flaps;
+      link_.set_down();
+      break;
+    case faults::FaultKind::kLinkUp:
+      link_.set_up();
+      break;
+    case faults::FaultKind::kSlotSeu: {
+      ++recovery_stats_.slot_seus;
+      fpga::Board* board = plane_boards_.at(static_cast<std::size_t>(e.board));
+      for (auto& ep : epochs_) {
+        if (ep->board != board) continue;
+        if (ep->runtime->crashed() || ep->runtime->drained()) continue;
+        ep->runtime->inject_slot_seu(e.slot);
+        break;
+      }
+      break;
+    }
+  }
+}
+
+void Cluster::handle_crash(std::vector<MigratedApp> evacuable,
+                           std::vector<MigratedApp> killed,
+                           sim::SimTime crash_time) {
+  const RecoveryOptions& ro = options_.recovery;
+  const int displaced =
+      static_cast<int>(evacuable.size()) + static_cast<int>(killed.size());
+  if (displaced == 0) {
+    // Empty board: the repair window is detection alone.
+    sim::SimDuration mttr = sim_.now() - crash_time;
+    recovery_stats_.mttr_total += mttr;
+    ++recovery_stats_.mttr_count;
+    m_mttr_.observe(sim::to_ms(mttr));
+    return;
+  }
+  if (!ro.enable_recovery) {
+    // No recovery: the displaced apps die with the board. They never reach
+    // completed_, so fault benches evaluate at a fixed horizon.
+    recovery_stats_.apps_lost += displaced;
+    m_lost_.add(displaced);
+    return;
+  }
+  if (ro.kill_restart) {
+    // Baseline: progress is not checkpointed anywhere — every displaced
+    // app restarts from scratch, and only a control message transfers.
+    for (MigratedApp& m : evacuable) {
+      m.progress.clear();
+      m.state_bytes = 0;
+    }
+  }
+
+  // Graceful degradation: tenants with progress (Big-slot bundles and
+  // started Little work) are always kept; zero-progress arrivals are shed
+  // smallest-batch-first once the displaced set exceeds the threshold.
+  std::vector<MigratedApp> keep;
+  std::vector<MigratedApp> fresh;
+  keep.reserve(static_cast<std::size_t>(displaced));
+  for (MigratedApp& m : evacuable) {
+    (m.progress.empty() ? fresh : keep).push_back(std::move(m));
+  }
+  for (MigratedApp& m : killed) {
+    (m.progress.empty() ? fresh : keep).push_back(std::move(m));
+  }
+  std::stable_sort(fresh.begin(), fresh.end(),
+                   [](const MigratedApp& a, const MigratedApp& b) {
+                     return a.batch > b.batch;
+                   });
+  int room = ro.shed_threshold - static_cast<int>(keep.size());
+  if (room < 0) room = 0;
+  if (static_cast<int>(fresh.size()) > room) {
+    int shed = static_cast<int>(fresh.size()) - room;
+    recovery_stats_.apps_shed += shed;
+    m_shed_.add(shed);
+    fresh.resize(static_cast<std::size_t>(room));
+  }
+  for (MigratedApp& m : fresh) keep.push_back(std::move(m));
+  if (keep.empty()) {
+    sim::SimDuration mttr = sim_.now() - crash_time;
+    recovery_stats_.mttr_total += mttr;
+    ++recovery_stats_.mttr_count;
+    m_mttr_.observe(sim::to_ms(mttr));
+    return;
+  }
+  for (const MigratedApp& m : keep) {
+    if (m.progress.empty()) {
+      ++recovery_stats_.apps_restarted;
+      m_restarted_.add();
+    } else {
+      ++recovery_stats_.apps_evacuated;
+      m_evacuated_.add();
+    }
+  }
+
+  if (least_loaded_or_null() == nullptr) {
+    // The whole active pool is down. Failure-triggered switch: bring up
+    // the spare pool if it is free and healthy; otherwise the displaced
+    // apps queue for re-admission at the next reboot.
+    core::SwitchLoop::Config spare =
+        loop_.config() == core::SwitchLoop::Config::kBigLittle
+            ? core::SwitchLoop::Config::kOnlyLittle
+            : core::SwitchLoop::Config::kBigLittle;
+    bool healthy = pool_free(spare);
+    for (fpga::Board* b : boards_for(spare)) {
+      healthy = healthy && board_usable(b);
+    }
+    if (healthy) {
+      loop_ = core::SwitchLoop(options_.t1, options_.t2, spare);
+      activate_pool(spare);
+      SwitchEvent event;
+      event.time = sim_.now();
+      event.to = spare;
+      event.dswitch = -1.0;  // failover sentinel: not a D_switch decision
+      event.apps_migrated = static_cast<int>(keep.size());
+      switch_events_.push_back(event);
+      m_switches_.add();
+      VS_WARN << "failover switch -> " << config_name(spare);
+    }
+  }
+
+  // Evacuate over the Aurora link: DDR state of apps with progress plus a
+  // control message; the same path as a D_switch live migration.
+  std::int64_t bytes = 4096;
+  for (const MigratedApp& m : keep) bytes += m.state_bytes;
+  auto ticket = std::make_shared<CrashTicket>();
+  ticket->crash_time = crash_time;
+  ticket->remaining = static_cast<int>(keep.size());
+  link_.transfer(bytes, [this, keep = std::move(keep), ticket]() mutable {
+    for (MigratedApp& m : keep) place_displaced(std::move(m), ticket);
+  });
+}
+
+void Cluster::place_displaced(MigratedApp app,
+                              const std::shared_ptr<CrashTicket>& ticket) {
+  runtime::BoardRuntime* rt = least_loaded_or_null();
+  if (rt == nullptr) {
+    readmit_queue_.push_back(ReadmitEntry{std::move(app), ticket});
+    return;
+  }
+  const apps::AppSpec& spec =
+      suite_.at(static_cast<std::size_t>(app.spec_index));
+  if (app.progress.empty()) {
+    rt->submit(spec, app.spec_index, app.batch, app.arrival,
+               app.item_interval);
+  } else {
+    rt->submit_with_progress(spec, app.spec_index, app.batch, app.arrival,
+                             app.progress, app.item_interval);
+  }
+  m_evac_latency_.observe(sim::to_ms(sim_.now() - ticket->crash_time));
+  finish_ticket(ticket);
+  on_queue_update();
+}
+
+void Cluster::finish_ticket(const std::shared_ptr<CrashTicket>& ticket) {
+  if (--ticket->remaining == 0) {
+    sim::SimDuration mttr = sim_.now() - ticket->crash_time;
+    recovery_stats_.mttr_total += mttr;
+    ++recovery_stats_.mttr_count;
+    m_mttr_.observe(sim::to_ms(mttr));
+  }
+}
+
+void Cluster::drain_readmit_queue() {
+  while (!readmit_queue_.empty()) {
+    runtime::BoardRuntime* rt = least_loaded_or_null();
+    if (rt == nullptr) return;
+    ReadmitEntry entry = std::move(readmit_queue_.front());
+    readmit_queue_.pop_front();
+    ++recovery_stats_.readmissions;
+    m_readmitted_.add();
+    const apps::AppSpec& spec =
+        suite_.at(static_cast<std::size_t>(entry.app.spec_index));
+    if (entry.app.progress.empty()) {
+      rt->submit(spec, entry.app.spec_index, entry.app.batch,
+                 entry.app.arrival, entry.app.item_interval);
+    } else {
+      rt->submit_with_progress(spec, entry.app.spec_index, entry.app.batch,
+                               entry.app.arrival, entry.app.progress,
+                               entry.app.item_interval);
+    }
+    if (entry.ticket != nullptr) {
+      m_evac_latency_.observe(sim::to_ms(sim_.now() - entry.ticket->crash_time));
+      finish_ticket(entry.ticket);
+    }
+    on_queue_update();
+  }
 }
 
 }  // namespace vs::cluster

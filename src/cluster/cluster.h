@@ -15,6 +15,7 @@
 // being freed (so one available FPGA suffices to switch the whole system).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -22,12 +23,56 @@
 #include "cluster/aurora.h"
 #include "core/dswitch.h"
 #include "core/versaslot_policy.h"
+#include "faults/fault_plane.h"
+#include "faults/scenario.h"
 #include "fpga/board.h"
 #include "obs/metrics.h"
 #include "runtime/board_runtime.h"
 #include "workload/generator.h"
 
 namespace vs::cluster {
+
+/// Failure-recovery policy knobs (the RecoveryPolicy layer over the
+/// FaultPlane's health events).
+struct RecoveryOptions {
+  /// Evacuate a crashed board's paused apps over the Aurora link with their
+  /// progress (live migration as failure recovery) and restart its killed
+  /// apps from scratch on a surviving board.
+  bool enable_recovery = true;
+  /// Baseline recovery: ignore saved progress — every displaced app
+  /// restarts from scratch (kill-restart). Only read when enable_recovery
+  /// is true. With both flags false, displaced apps are simply lost.
+  bool kill_restart = false;
+  /// Health-event to recovery-action latency (heartbeat + decision).
+  sim::SimDuration detection_latency = sim::ms(5.0);
+  /// Graceful degradation: when a crash displaces more than this many apps,
+  /// zero-progress Little-slot work is shed smallest-batch-first; started
+  /// tenants (apps with progress, including Big-slot bundle work) are
+  /// always preserved. Default: effectively unlimited (no shedding).
+  int shed_threshold = 1 << 30;
+};
+
+/// Recovery bookkeeping, available without telemetry (mirrored into obs::
+/// instruments when a registry is bound).
+struct RecoveryStats {
+  int boards_crashed = 0;
+  int boards_rebooted = 0;
+  int link_flaps = 0;
+  int slot_seus = 0;
+  int apps_evacuated = 0;  ///< live-migrated with progress preserved
+  int apps_restarted = 0;  ///< displaced and restarted from scratch
+  int apps_lost = 0;       ///< no recovery: died with the board
+  int apps_shed = 0;       ///< degradation: dropped Little-slot work
+  int readmissions = 0;    ///< placed from the re-admission queue
+  sim::SimDuration mttr_total = 0;  ///< sum over crashes (see mttr_count)
+  int mttr_count = 0;
+
+  [[nodiscard]] double mttr_ms_mean() const noexcept {
+    return mttr_count > 0
+               ? sim::to_ms(mttr_total) / static_cast<double>(mttr_count)
+               : 0.0;
+  }
+};
 
 struct ClusterOptions {
   // Schmitt thresholds. Note the dynamic range of D_switch: with batch
@@ -55,6 +100,11 @@ struct ClusterOptions {
   /// set, every board epoch, policy, the Aurora link, and the D_switch loop
   /// bind their instruments here. The registry must outlive the cluster.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Fault injection. When `faults.enabled()` is false (the default) no
+  /// FaultPlane is constructed and every code path is identical to a
+  /// fault-free build — outputs stay byte-for-byte the same.
+  faults::FaultScenario faults;
+  RecoveryOptions recovery;
 };
 
 struct SwitchEvent {
@@ -109,6 +159,15 @@ class Cluster {
     return static_cast<int>(completed_.size()) == submitted_;
   }
 
+  /// Recovery bookkeeping (all zero when no faults were injected).
+  [[nodiscard]] const RecoveryStats& recovery_stats() const noexcept {
+    return recovery_stats_;
+  }
+  /// Fault plane, or null when `options.faults` is disabled.
+  [[nodiscard]] const faults::FaultPlane* fault_plane() const noexcept {
+    return fault_plane_.get();
+  }
+
  private:
   struct Epoch {
     fpga::Board* board = nullptr;
@@ -125,10 +184,33 @@ class Cluster {
   void prewarm(core::SwitchLoop::Config config);
   void do_switch(core::SwitchLoop::Config target, double d);
   [[nodiscard]] runtime::BoardRuntime& least_loaded_active();
+  [[nodiscard]] runtime::BoardRuntime* least_loaded_or_null();
   [[nodiscard]] std::vector<fpga::Board*> boards_for(
       core::SwitchLoop::Config config);
   /// The pool for `config` is free when no undrained epoch uses its boards.
   [[nodiscard]] bool pool_free(core::SwitchLoop::Config config) const;
+
+  // --- Fault plane and recovery ---------------------------------------
+  /// Progress accounting for one crash: MTTR is measured from the crash to
+  /// the placement of its last displaced app (or to detection when the
+  /// board was empty). Shared across the per-app placement closures.
+  struct CrashTicket {
+    sim::SimTime crash_time = 0;
+    int remaining = 0;
+  };
+  using MigratedApp = runtime::BoardRuntime::MigratedApp;
+  struct ReadmitEntry {
+    MigratedApp app;
+    std::shared_ptr<CrashTicket> ticket;  ///< null for deferred arrivals
+  };
+  void on_health_event(const faults::HealthEvent& e);
+  void handle_crash(std::vector<MigratedApp> evacuable,
+                    std::vector<MigratedApp> killed, sim::SimTime crash_time);
+  void place_displaced(MigratedApp app,
+                       const std::shared_ptr<CrashTicket>& ticket);
+  void finish_ticket(const std::shared_ptr<CrashTicket>& ticket);
+  void drain_readmit_queue();
+  [[nodiscard]] bool board_usable(const fpga::Board* board) const;
 
   sim::Simulator& sim_;
   const std::vector<apps::AppSpec>& suite_;
@@ -144,12 +226,29 @@ class Cluster {
   std::vector<SwitchEvent> switch_events_;
   int submitted_ = 0;
 
+  // Fault plane (null when options.faults is disabled) and recovery state.
+  std::unique_ptr<faults::FaultPlane> fault_plane_;
+  /// Board and its fabric configuration by FaultPlane board index
+  /// (registration order: OL pool then BL pool).
+  std::vector<fpga::Board*> plane_boards_;
+  std::vector<core::SwitchLoop::Config> plane_configs_;
+  std::deque<ReadmitEntry> readmit_queue_;
+  RecoveryStats recovery_stats_;
+
   // Telemetry: switch-loop instruments (no-ops when options.metrics null).
   obs::CounterHandle m_dswitch_evals_;   ///< vs_dswitch_evaluations_total
   obs::CounterHandle m_switches_;        ///< vs_dswitch_switches_total
   obs::CounterHandle m_migrated_apps_;   ///< vs_cluster_migrated_apps_total
   obs::GaugeHandle m_dswitch_value_;     ///< vs_dswitch_value
   obs::GaugeHandle m_active_apps_;       ///< vs_cluster_active_apps
+  // Recovery instruments.
+  obs::CounterHandle m_evacuated_;    ///< vs_recovery_evacuated_apps_total
+  obs::CounterHandle m_restarted_;    ///< vs_recovery_restarted_apps_total
+  obs::CounterHandle m_lost_;         ///< vs_recovery_lost_apps_total
+  obs::CounterHandle m_shed_;         ///< vs_recovery_shed_apps_total
+  obs::CounterHandle m_readmitted_;   ///< vs_recovery_readmissions_total
+  obs::HistogramHandle m_evac_latency_;  ///< vs_recovery_evac_latency_ms
+  obs::HistogramHandle m_mttr_;          ///< vs_recovery_mttr_ms
 };
 
 }  // namespace vs::cluster

@@ -1,0 +1,224 @@
+#include "faults/fault_plane.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace vs::faults {
+
+FaultPlane::FaultPlane(sim::Simulator& sim, FaultScenario scenario)
+    : sim_(sim),
+      scenario_(std::move(scenario)),
+      flap_rng_(scenario_.stream("link/flap")) {}
+
+int FaultPlane::add_board(fpga::Board& board) {
+  int id = static_cast<int>(boards_.size());
+  BoardRec rec;
+  rec.board = &board;
+  rec.crash_rng = scenario_.stream("crash/" + std::to_string(id));
+  rec.seu_rng = scenario_.stream("seu/" + std::to_string(id));
+  if (registry_ != nullptr) {
+    rec.available = obs::GaugeHandle{&registry_->gauge(
+        "vs_board_available", {{"board", board.name()}})};
+    rec.available.set(1.0);
+  }
+  if (scenario_.pcap_crc_probability > 0) {
+    board.pcap().set_fault_model(scenario_.pcap_crc_probability,
+                                 scenario_.stream("pcap/" +
+                                                  std::to_string(id)));
+  }
+  boards_.push_back(std::move(rec));
+  return id;
+}
+
+void FaultPlane::bind_metrics(obs::MetricsRegistry& registry) {
+  registry_ = &registry;
+  const FaultKind faults[] = {FaultKind::kBoardCrash, FaultKind::kLinkDown,
+                              FaultKind::kSlotSeu};
+  for (int i = 0; i < 3; ++i) {
+    m_injected_[i] = obs::CounterHandle{&registry.counter(
+        "vs_faults_injected_total", {{"kind", to_string(faults[i])}})};
+  }
+  const FaultKind repairs[] = {FaultKind::kBoardReboot, FaultKind::kLinkUp};
+  for (int i = 0; i < 2; ++i) {
+    m_recovered_[i] = obs::CounterHandle{&registry.counter(
+        "vs_faults_recovered_total", {{"kind", to_string(repairs[i])}})};
+  }
+  for (BoardRec& rec : boards_) {
+    rec.available = obs::GaugeHandle{&registry.gauge(
+        "vs_board_available", {{"board", rec.board->name()}})};
+    rec.available.set(rec.up ? 1.0 : 0.0);
+  }
+}
+
+void FaultPlane::start() {
+  for (const FaultEvent& e : scenario_.timeline) {
+    sim_.schedule_at(e.time, [this, e] { apply_scripted(e); });
+  }
+  for (int b = 0; b < board_count(); ++b) {
+    arm_crash(b);
+    arm_seu(b);
+  }
+  arm_flap();
+}
+
+sim::SimDuration FaultPlane::exp_delay(util::Rng& rng, double rate_per_s) {
+  // Inverse-CDF exponential; uniform01() < 1 so the log argument is > 0.
+  double dt_s = -std::log(1.0 - rng.uniform01()) / rate_per_s;
+  return static_cast<sim::SimDuration>(dt_s * 1e9);
+}
+
+// Each hazard chain schedules its own next firing, Sampler-style: the next
+// draw is scheduled only if it lands inside the horizon. Chains never
+// consult queue occupancy — a guard like "stop when nothing else is
+// pending" would make the fault schedule depend on incidental events
+// (telemetry samplers, tracing), breaking bit-identity between
+// instrumented and plain runs. Faulty runs therefore extend to the
+// scenario horizon; that costs a handful of no-op events on a drained
+// cluster and buys a schedule that is a pure function of the seed.
+void FaultPlane::arm_crash(int board) {
+  double rate = scenario_.hazards.board_crash_per_s;
+  if (rate <= 0) return;
+  BoardRec& rec = boards_[static_cast<std::size_t>(board)];
+  sim::SimTime next = sim_.now() + exp_delay(rec.crash_rng, rate);
+  if (next > scenario_.horizon) return;
+  sim_.schedule_at(next, [this, board] { fire_crash(board); });
+}
+
+void FaultPlane::arm_seu(int board) {
+  double rate = scenario_.hazards.slot_seu_per_s;
+  if (rate <= 0) return;
+  BoardRec& rec = boards_[static_cast<std::size_t>(board)];
+  sim::SimTime next = sim_.now() + exp_delay(rec.seu_rng, rate);
+  if (next > scenario_.horizon) return;
+  sim_.schedule_at(next, [this, board] { fire_seu(board); });
+}
+
+void FaultPlane::arm_flap() {
+  double rate = scenario_.hazards.link_flap_per_s;
+  if (rate <= 0) return;
+  sim::SimTime next = sim_.now() + exp_delay(flap_rng_, rate);
+  if (next > scenario_.horizon) return;
+  sim_.schedule_at(next, [this] { fire_flap(); });
+}
+
+void FaultPlane::fire_crash(int board) {
+  if (boards_[static_cast<std::size_t>(board)].up) inject_crash(board);
+  arm_crash(board);
+}
+
+void FaultPlane::fire_seu(int board) {
+  if (boards_[static_cast<std::size_t>(board)].up) inject_seu(board, -1);
+  arm_seu(board);
+}
+
+void FaultPlane::fire_flap() {
+  if (link_up_) inject_link_down();
+  arm_flap();
+}
+
+void FaultPlane::apply_scripted(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kBoardCrash:
+      if (board_up(e.board)) inject_crash(e.board);
+      break;
+    case FaultKind::kBoardReboot:
+      if (!board_up(e.board)) reboot(e.board);
+      break;
+    case FaultKind::kLinkDown:
+      if (link_up_) inject_link_down();
+      break;
+    case FaultKind::kLinkUp:
+      if (!link_up_) restore_link();
+      break;
+    case FaultKind::kSlotSeu:
+      if (board_up(e.board)) inject_seu(e.board, e.slot);
+      break;
+  }
+}
+
+void FaultPlane::emit(FaultKind kind, int board, int slot) {
+  switch (kind) {
+    case FaultKind::kBoardCrash: m_injected_[0].add(); break;
+    case FaultKind::kLinkDown: m_injected_[1].add(); break;
+    case FaultKind::kSlotSeu: m_injected_[2].add(); break;
+    case FaultKind::kBoardReboot: m_recovered_[0].add(); break;
+    case FaultKind::kLinkUp: m_recovered_[1].add(); break;
+  }
+  HealthEvent event{sim_.now(), kind, board, slot};
+  injected_.push_back(event);
+  if (handler_) handler_(event);
+}
+
+void FaultPlane::inject_crash(int board) {
+  BoardRec& rec = boards_[static_cast<std::size_t>(board)];
+  assert(rec.up);
+  rec.up = false;
+  rec.down_since = sim_.now();
+  rec.available.set(0.0);
+  VS_WARN << rec.board->name() << ": board crash injected";
+  emit(FaultKind::kBoardCrash, board, -1);
+  // The repair is unconditional and bounded: exactly one reboot per outage.
+  sim_.schedule(scenario_.repair.board_reboot, [this, board] {
+    reboot(board);
+  });
+}
+
+void FaultPlane::reboot(int board) {
+  BoardRec& rec = boards_[static_cast<std::size_t>(board)];
+  if (rec.up) return;  // a scripted reboot already brought it back
+  rec.up = true;
+  rec.down_ns += sim_.now() - rec.down_since;
+  rec.available.set(1.0);
+  VS_INFO << rec.board->name() << ": rebooted";
+  emit(FaultKind::kBoardReboot, board, -1);
+}
+
+void FaultPlane::inject_link_down() {
+  assert(link_up_);
+  link_up_ = false;
+  VS_WARN << "aurora link flap injected";
+  emit(FaultKind::kLinkDown, -1, -1);
+  sim_.schedule(scenario_.repair.link_outage, [this] {
+    if (!link_up_) restore_link();
+  });
+}
+
+void FaultPlane::restore_link() {
+  assert(!link_up_);
+  link_up_ = true;
+  emit(FaultKind::kLinkUp, -1, -1);
+}
+
+void FaultPlane::inject_seu(int board, int slot) {
+  BoardRec& rec = boards_[static_cast<std::size_t>(board)];
+  assert(rec.up);
+  int slot_count = static_cast<int>(rec.board->slots().size());
+  if (slot_count == 0) return;
+  if (slot < 0) {
+    slot = static_cast<int>(rec.seu_rng.uniform_int(0, slot_count - 1));
+  }
+  if (slot >= slot_count) return;  // scripted slot beyond this fabric
+  VS_WARN << rec.board->name() << ": SEU injected in slot " << slot;
+  emit(FaultKind::kSlotSeu, board, slot);
+}
+
+double FaultPlane::board_availability(int board, sim::SimTime now) const {
+  const BoardRec& rec = boards_.at(static_cast<std::size_t>(board));
+  if (now <= 0) return 1.0;
+  sim::SimDuration down = rec.down_ns;
+  if (!rec.up) down += now - rec.down_since;
+  return 1.0 - static_cast<double>(down) / static_cast<double>(now);
+}
+
+double FaultPlane::mean_availability(sim::SimTime now) const {
+  if (boards_.empty()) return 1.0;
+  double sum = 0.0;
+  for (int b = 0; b < board_count(); ++b) {
+    sum += board_availability(b, now);
+  }
+  return sum / static_cast<double>(boards_.size());
+}
+
+}  // namespace vs::faults

@@ -1,0 +1,100 @@
+// Fault scenarios: the single configuration surface for every fault knob.
+//
+// A FaultScenario describes what can go wrong in a run — board crashes,
+// Aurora link flaps, slot SEU/ECC upsets, PCAP CRC verification failures —
+// either stochastically (per-component hazard rates, exponential
+// inter-arrival) or as an explicit scripted timeline, or both. All
+// randomness derives from one master seed through one rule:
+// `scenario.stream(label)` forks a named PCG32 stream, so the same scenario
+// produces bit-identical fault schedules on any platform and under any
+// sweep parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace vs::faults {
+
+enum class FaultKind : std::uint8_t {
+  kBoardCrash,   ///< board lost: slots gone, in-flight apps killed
+  kBoardReboot,  ///< board back up (repair of kBoardCrash)
+  kLinkDown,     ///< Aurora link flap: in-flight transfer aborts
+  kLinkUp,       ///< link restored (repair of kLinkDown)
+  kSlotSeu,      ///< SEU/ECC upset in one slot: configured logic dies
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kBoardCrash: return "board_crash";
+    case FaultKind::kBoardReboot: return "board_reboot";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kSlotSeu: return "slot_seu";
+  }
+  return "?";
+}
+
+/// One scripted fault. `board` indexes the FaultPlane's registration order
+/// (the cluster registers OL0..OLn-1 then BL0..BLn-1). For kSlotSeu a
+/// negative `slot` means "draw the slot uniformly at injection time" from
+/// the scenario's seu stream.
+struct FaultEvent {
+  sim::SimTime time = 0;
+  FaultKind kind = FaultKind::kBoardCrash;
+  int board = -1;  ///< -1 for link events
+  int slot = -1;   ///< kSlotSeu only
+};
+
+/// Stochastic hazard rates, per simulated second (exponential inter-arrival
+/// times; 0 disables that hazard). The SEU rate applies per board.
+struct HazardRates {
+  double board_crash_per_s = 0.0;  ///< per board
+  double link_flap_per_s = 0.0;    ///< whole link
+  double slot_seu_per_s = 0.0;     ///< per board (slot drawn at injection)
+
+  [[nodiscard]] bool any() const noexcept {
+    return board_crash_per_s > 0 || link_flap_per_s > 0 || slot_seu_per_s > 0;
+  }
+};
+
+/// Deterministic repair durations (MTTR inputs, not outputs: the measured
+/// MTTR also contains detection, evacuation transfer, and re-placement).
+struct RepairTimes {
+  sim::SimDuration board_reboot = sim::seconds(2.0);  ///< crash -> back up
+  sim::SimDuration link_outage = sim::ms(200.0);      ///< flap -> link up
+};
+
+/// The one struct holding every fault knob. Disabled by default: a
+/// default-constructed scenario schedules nothing and leaves every code
+/// path untouched, so fault-free runs stay byte-identical.
+struct FaultScenario {
+  std::uint64_t seed = 2025;
+  HazardRates hazards;
+  RepairTimes repair;
+  /// PCAP CRC verification failure probability per load (generalises the
+  /// old ad-hoc Pcap::set_fault_model knob; the load retries ahead of the
+  /// queue, consuming its full transfer time again).
+  double pcap_crc_probability = 0.0;
+  /// Explicit scripted faults, injected in addition to the hazards.
+  std::vector<FaultEvent> timeline;
+  /// Hazard draws stop past this simulated time so runs always drain;
+  /// scripted events and pending repairs still execute.
+  sim::SimTime horizon = sim::seconds(600.0);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return pcap_crc_probability > 0 || hazards.any() || !timeline.empty();
+  }
+
+  /// THE seed-derivation rule: every stochastic fault consumer forks its
+  /// own named stream off the master seed. Labels in use: "pcap/<board>",
+  /// "crash/<board>", "seu/<board>", "link/flap".
+  [[nodiscard]] util::Rng stream(std::string_view label) const noexcept {
+    return util::Rng(seed).fork(label);
+  }
+};
+
+}  // namespace vs::faults

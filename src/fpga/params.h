@@ -84,6 +84,10 @@ struct LinkParams {
   // Aurora over GT transceivers (zSFP+), 10 Gb/s line rate.
   double bandwidth_bytes_per_s = 1.25e9;
   sim::SimDuration setup_latency = sim::us(20.0);
+  /// Retry backoff base after a link flap aborts a transfer: the aborted
+  /// transfer restarts retry_backoff * 2^(attempts-1) after the link comes
+  /// back (exponent capped at 6).
+  sim::SimDuration retry_backoff = sim::ms(10.0);
 
   [[nodiscard]] sim::SimDuration transfer_time(std::int64_t bytes) const {
     return setup_latency + static_cast<sim::SimDuration>(

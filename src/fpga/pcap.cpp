@@ -27,8 +27,8 @@ void Pcap::bind_metrics(obs::MetricsRegistry& registry,
       obs::CounterHandle{&registry.counter("vs_pcap_loads_total", labels)};
   queued_total_ =
       obs::CounterHandle{&registry.counter("vs_pcap_queued_total", labels)};
-  failures_total_ =
-      obs::CounterHandle{&registry.counter("vs_pcap_failures_total", labels)};
+  failures_total_ = obs::CounterHandle{
+      &registry.counter("vs_pcap_load_failures_total", labels)};
   bytes_total_ = obs::CounterHandle{
       &registry.counter("vs_pcap_bytes_loaded_total", labels)};
   queue_depth_ =
@@ -37,6 +37,13 @@ void Pcap::bind_metrics(obs::MetricsRegistry& registry,
       "vs_pcap_wait_ms", obs::default_ms_bounds(), labels)};
   load_ms_ = obs::HistogramHandle{&registry.histogram(
       "vs_pcap_load_ms", obs::default_ms_bounds(), labels)};
+}
+
+void Pcap::reset() {
+  busy_ = false;
+  current_ = Request{};
+  queue_.clear();
+  queue_depth_.set(0.0);
 }
 
 void Pcap::start(Request req) {

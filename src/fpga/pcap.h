@@ -37,11 +37,18 @@ class Pcap {
   /// probability `failure_probability` (DFX requires confirming the partial
   /// bitstream loaded correctly; a CRC error forces a reload). Failed loads
   /// consume their full transfer time, then retry — still ahead of queued
-  /// requests. Deterministic through the supplied RNG stream.
+  /// requests. Deterministic through the supplied RNG stream. Configured
+  /// through faults::FaultScenario (`pcap_crc_probability`, stream
+  /// "pcap/<board>") so every fault knob shares one seed-derivation rule.
   void set_fault_model(double failure_probability, util::Rng rng) {
     failure_probability_ = failure_probability;
     rng_ = rng;
   }
+
+  /// Crash path: drops the in-flight request and the FIFO. The companion
+  /// Core::reset() already cancelled the core op whose completion would
+  /// have finished the in-flight load, so no stale callback can fire.
+  void reset();
 
   /// Requests a load of `load_duration` issued from `core`. The load
   /// occupies the PCAP exclusively and suspends `core` while transferring;
@@ -87,7 +94,7 @@ class Pcap {
   util::Rng rng_;
   obs::CounterHandle loads_total_;     ///< vs_pcap_loads_total
   obs::CounterHandle queued_total_;    ///< vs_pcap_queued_total
-  obs::CounterHandle failures_total_;  ///< vs_pcap_failures_total
+  obs::CounterHandle failures_total_;  ///< vs_pcap_load_failures_total
   obs::CounterHandle bytes_total_;     ///< vs_pcap_bytes_loaded_total
   obs::GaugeHandle queue_depth_;       ///< vs_pcap_queue_depth
   obs::HistogramHandle wait_ms_;       ///< vs_pcap_wait_ms

@@ -94,6 +94,15 @@ class Slot {
     occupant_app_ = -1;
   }
 
+  /// Crash path: unconditionally clears the slot from any state. An SEU
+  /// kill or board crash loses the region's contents mid-reconfiguration
+  /// or mid-execution — states release() legally cannot leave.
+  void scrub() {
+    state_ = SlotState::kIdle;
+    configured_ = 0;
+    occupant_app_ = -1;
+  }
+
  private:
   int id_;
   SlotKind kind_;

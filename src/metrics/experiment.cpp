@@ -70,6 +70,10 @@ RunResult run_single_board(SystemKind kind,
   auto policy = make_policy(kind, options.vs_options);
   runtime::BoardRuntime rt(board, *policy);
   rt.trace().enable(options.record_trace);
+  if (options.faults.pcap_crc_probability > 0.0) {
+    board.pcap().set_fault_model(options.faults.pcap_crc_probability,
+                                 options.faults.stream("pcap/0"));
+  }
   if (options.telemetry != nullptr) {
     rt.bind_metrics(options.telemetry->registry());
     options.telemetry->info().experiment = "single_board";
@@ -151,11 +155,16 @@ ClusterRunResult run_cluster(const std::vector<apps::AppSpec>& suite,
   result.submitted = cluster.submitted();
   result.completed = static_cast<int>(cluster.completed().size());
   for (const runtime::CompletedApp& c : cluster.completed()) {
+    result.apps.push_back(c);
     result.response_ms.push_back(c.response_ms());
   }
   result.response = util::summarize(result.response_ms);
   result.dswitch_trace = cluster.dswitch().trace();
   result.switches = cluster.switches();
+  result.recovery = cluster.recovery_stats();
+  if (cluster.fault_plane() != nullptr) {
+    result.availability = cluster.fault_plane()->mean_availability(sim.now());
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "apps/task.h"
 #include "cluster/cluster.h"
 #include "core/versaslot_policy.h"
+#include "faults/scenario.h"
 #include "fpga/params.h"
 #include "obs/telemetry.h"
 #include "runtime/board_runtime.h"
@@ -80,6 +81,11 @@ struct RunOptions {
   /// runs only — parallel sweep jobs must leave this null (one registry
   /// cannot be shared across replica threads).
   obs::Telemetry* telemetry = nullptr;
+  /// Fault injection. Single boards have no recovery plane: only the PCAP
+  /// CRC model applies (stream "pcap/0"). Disabled by default — the
+  /// fault-free path is untouched. Cluster runs take the scenario through
+  /// ClusterOptions::faults instead.
+  faults::FaultScenario faults;
 };
 
 /// Runs `sequence` to completion under `kind` on a fresh single board.
@@ -104,12 +110,17 @@ struct AggregateResult {
 
 /// Cluster run (Fig 8): live D_switch monitoring, optional switching.
 struct ClusterRunResult {
+  std::vector<runtime::CompletedApp> apps;  ///< completion order
   std::vector<double> response_ms;
   util::Summary response;
   std::vector<core::DSwitchSample> dswitch_trace;
   std::vector<cluster::SwitchEvent> switches;
   int submitted = 0;
   int completed = 0;
+  /// Recovery bookkeeping (all zero without a fault scenario).
+  cluster::RecoveryStats recovery;
+  /// Mean board availability over the run (1.0 without a fault plane).
+  double availability = 1.0;
 };
 
 /// `telemetry`, when non-null, instruments the whole cluster (boards,

@@ -204,10 +204,22 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
   board_.pcap().request(
       duration, core,
       [this, app_id, unit_index, requested]() {
+        if (crashed_) return;
         AppRun& a2 = app(app_id);
         UnitRun& u2 = a2.units[static_cast<std::size_t>(unit_index)];
         touch_utilization();
         board_.slot(u2.slot).finish_reconfig();
+        if (u2.seu_poisoned) {
+          // An SEU hit the region mid-load: the configured logic is dead on
+          // arrival. Release the slot and retry the unit from Pending.
+          u2.seu_poisoned = false;
+          board_.slot(u2.slot).release();
+          u2.state = UnitState::kPending;
+          u2.slot = -1;
+          refresh_slot_gauges();
+          board_.ocm().post([this] { kick(); });
+          return;
+        }
         u2.state = UnitState::kRunning;
         refresh_slot_gauges();
         if (trace_.enabled()) {
@@ -333,6 +345,22 @@ BoardRuntime::MigratedApp migrated_descriptor(const AppRun& a) {
   return m;
 }
 
+// Descriptor plus per-task progress and the inter-stage buffers queued
+// between pipeline stages — everything that lives in DDR rather than in
+// the fabric. Only valid for apps still on the per-task decomposition.
+BoardRuntime::MigratedApp migrated_with_progress(const AppRun& a) {
+  BoardRuntime::MigratedApp m = migrated_descriptor(a);
+  int upstream_done = a.batch;
+  for (const UnitRun& u : a.units) {
+    m.progress.push_back(u.items_done);
+    // Intermediate buffers waiting between stage i-1 and i travel too.
+    std::int64_t queued_items = upstream_done - u.items_done;
+    m.state_bytes += queued_items * u.spec.item_bytes_in;
+    upstream_done = u.items_done;
+  }
+  return m;
+}
+
 }  // namespace
 
 std::vector<BoardRuntime::MigratedApp> BoardRuntime::extract_unstarted() {
@@ -360,23 +388,95 @@ std::vector<BoardRuntime::MigratedApp> BoardRuntime::extract_migratable() {
                 !u.item_in_flight;
     }
     if (!paused) continue;
-    MigratedApp m = migrated_descriptor(a);
-    int upstream_done = a.batch;
-    for (std::size_t i = 0; i < a.units.size(); ++i) {
-      const UnitRun& u = a.units[i];
-      m.progress.push_back(u.items_done);
-      // Intermediate buffers waiting between stage i-1 and i travel too.
-      std::int64_t queued_items = upstream_done - u.items_done;
-      m.state_bytes += queued_items * u.spec.item_bytes_in;
-      upstream_done = u.items_done;
-    }
-    out.push_back(std::move(m));
+    out.push_back(migrated_with_progress(a));
     a.spec = nullptr;  // tombstone: extracted
   }
   return out;
 }
 
+BoardRuntime::CrashReport BoardRuntime::crash() {
+  assert(!crashed_ && "board already crashed");
+  CrashReport report;
+  touch_utilization();
+  stop_admission();
+  // The crash model is a PL wedge: the fabric (and anything mid-flight in
+  // it) is gone, but the PS side — DDR images, completed-item progress,
+  // inter-stage buffers — stays readable, which is what makes recovery
+  // via the §III-D migration path possible at all. Paused apps evacuate
+  // exactly as they would for a switch.
+  report.evacuable = extract_migratable();
+  // Running apps lose the in-flight item (its result was still in the
+  // fabric) but keep their DDR-resident progress, provided they are still
+  // on the per-task decomposition. Bundled apps are bound to the Big
+  // slots they died on (§III-C) and carry no portable progress — killed
+  // descriptors restart from scratch elsewhere, as do apps that never
+  // completed an item.
+  for (AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done()) continue;
+    bool per_task =
+        a.units.size() == static_cast<std::size_t>(a.spec->task_count());
+    bool has_progress = false;
+    for (const UnitRun& u : a.units) has_progress |= u.items_done > 0;
+    if (per_task && has_progress) {
+      report.evacuable.push_back(migrated_with_progress(a));
+    } else {
+      report.killed.push_back(migrated_descriptor(a));
+    }
+    a.spec = nullptr;  // tombstone: extracted by the crash
+  }
+  crashed_ = true;
+  pass_queued_ = false;
+  for (fpga::Slot& s : board_.slots()) s.scrub();
+  // Cores drop their queues and in-flight ops (this also cancels the core
+  // op that would have completed the PCAP's in-flight load), then the PCAP
+  // clears its FIFO. Stale simulator events (DMA completions, item
+  // finishes, OCM posts) hit the crashed_ guards and die.
+  board_.scheduler_core().reset();
+  board_.pr_core().reset();
+  board_.pcap().reset();
+  refresh_slot_gauges();
+  VS_WARN << board_.name() << ": crashed (" << report.evacuable.size()
+          << " evacuable, " << report.killed.size() << " killed)";
+  return report;
+}
+
+void BoardRuntime::inject_slot_seu(int slot_id) {
+  if (crashed_) return;
+  if (full_fabric_app_ >= 0) return;  // exclusive baseline: out of scope
+  fpga::Slot& slot = board_.slot(slot_id);
+  if (slot.state() == fpga::SlotState::kIdle) return;  // empty region
+  int app_id = slot.occupant_app();
+  if (app_id < 0) return;
+  AppRun& a = app(app_id);
+  if (a.spec == nullptr || a.done()) return;
+  UnitRun* unit = nullptr;
+  for (UnitRun& u : a.units) {
+    if (u.slot == slot_id && u.state != UnitState::kFinished) {
+      unit = &u;
+      break;
+    }
+  }
+  if (unit == nullptr) return;
+  VS_WARN << board_.name() << ": SEU kills " << a.spec->name << "#" << app_id
+          << " in slot " << slot_id;
+  if (unit->state == UnitState::kReconfiguring || unit->item_in_flight) {
+    // Mid-PR or mid-item: the in-flight operation completes mechanically
+    // (PCAP transfer / datapath drain) and its result is discarded there.
+    unit->seu_poisoned = true;
+    return;
+  }
+  assert(unit->state == UnitState::kRunning);
+  // Configured and between items: evict on the spot.
+  touch_utilization();
+  slot.release();
+  unit->state = UnitState::kPending;
+  unit->slot = -1;
+  refresh_slot_gauges();
+  kick();
+}
+
 void BoardRuntime::kick() {
+  if (crashed_) return;
   if (pass_queued_) return;
   pass_queued_ = true;
   sim::Core& core = board_.scheduler_core();
@@ -394,6 +494,7 @@ void BoardRuntime::kick() {
 }
 
 void BoardRuntime::run_pass() {
+  if (crashed_) return;
   pass_queued_ = false;
   ++counters_.passes;
   m_passes_.add();
@@ -446,6 +547,7 @@ void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
         // ... then the input DMA ...
         board_.dma().transfer(u.spec.item_bytes_in, [this, app_id, unit_index,
                                                      item] {
+          if (crashed_) return;
           AppRun& a2 = app(app_id);
           UnitRun& u2 = a2.units[static_cast<std::size_t>(unit_index)];
           // ... then execution in the slot.
@@ -456,6 +558,7 @@ void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
                                (item == 0 ? u2.spec.fill_latency : 0);
           sim::SimTime started = sim().now();
           sim().schedule(d, [this, app_id, unit_index, started, item] {
+            if (crashed_) return;
             if (trace_.enabled()) {
               AppRun& a3 = app(app_id);
               UnitRun& u3 = a3.units[static_cast<std::size_t>(unit_index)];
@@ -475,11 +578,24 @@ void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
 }
 
 void BoardRuntime::finish_item(int app_id, int unit_index) {
+  if (crashed_) return;
   AppRun& a = app(app_id);
   UnitRun& u = a.units[static_cast<std::size_t>(unit_index)];
   touch_utilization();
   if (u.slot >= 0) board_.slot(u.slot).finish_exec();
   u.item_in_flight = false;
+  if (u.seu_poisoned) {
+    // An SEU killed the slot logic mid-item: the item's result is garbage
+    // and is discarded (not counted), the instance is evicted, and the
+    // unit retries from Pending with its earlier items intact in DDR.
+    u.seu_poisoned = false;
+    if (u.slot >= 0) board_.slot(u.slot).release();
+    u.state = UnitState::kPending;
+    u.slot = -1;
+    refresh_slot_gauges();
+    kick();
+    return;
+  }
   ++u.items_done;
   ++counters_.items_executed;
   m_items_.add();

@@ -49,6 +49,7 @@ struct UnitRun {
   int items_done = 0;
   bool item_in_flight = false;
   bool pr_was_blocked = false; ///< this unit's last PR waited in the PCAP FIFO
+  bool seu_poisoned = false;   ///< SEU hit mid-PR/mid-item: discard on finish
 };
 
 struct AppRun {
@@ -271,6 +272,31 @@ class BoardRuntime {
   };
   [[nodiscard]] std::vector<MigratedApp> extract_unstarted();
 
+  // ------------------------------------------------------------ fault plane
+  /// Board crash result: `evacuable` apps were paused between items and
+  /// carry their progress (the recovery policy live-migrates them);
+  /// `killed` apps had units configured or mid-item — their volatile state
+  /// is lost and they can only restart from scratch (empty progress).
+  struct CrashReport {
+    std::vector<MigratedApp> evacuable;
+    std::vector<MigratedApp> killed;
+  };
+
+  /// Kills this board: every active app is extracted (paused apps as
+  /// evacuable, the rest as killed descriptors), all slots are scrubbed,
+  /// the cores and PCAP reset, and the runtime freezes — stale in-flight
+  /// events (DMA completions, item finishes, OCM posts) become no-ops.
+  /// Terminal: a rebooted board gets a fresh BoardRuntime epoch.
+  [[nodiscard]] CrashReport crash();
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// SEU/ECC upset in `slot_id`: the configured task-logic instance dies.
+  /// A unit mid-PR or mid-item is poisoned (the load/item completes with
+  /// its result discarded); an idle-configured unit is evicted on the spot.
+  /// Either way the unit returns to Pending with its completed items
+  /// preserved in DDR, and the slot must be reconfigured before reuse.
+  void inject_slot_seu(int slot_id);
+
   /// Live-migration extraction: unstarted apps plus *paused* started apps —
   /// apps whose units are all between executions (none placed in a slot,
   /// none mid-item) and which still run per-task Little units. Those carry
@@ -307,6 +333,7 @@ class BoardRuntime {
   std::function<void(const CompletedApp&)> on_app_complete_;
   bool pass_queued_ = false;
   bool admission_open_ = true;
+  bool crashed_ = false;
   int full_fabric_app_ = -1;  ///< baseline: app owning the whole fabric
   std::int64_t window_blocked_ = 0;
   sim::SimTime last_util_touch_ = 0;

@@ -43,7 +43,25 @@ void Core::start_next() {
   busy_time_ += op.duration;
   busy_ns_total_.add(op.duration);
   current_done_ = std::move(op.on_done);
-  sim_.schedule(op.duration, [this] { finish_current(); });
+  finish_event_ = sim_.schedule(op.duration, [this] { finish_current(); });
+}
+
+void Core::reset() {
+  if (busy_) {
+    sim_.cancel(finish_event_);
+    // start_next() charged the full duration up front; give back the part
+    // that will never execute.
+    if (current_end_ > sim_.now()) {
+      sim::SimDuration remaining = current_end_ - sim_.now();
+      busy_time_ -= remaining;
+      busy_ns_total_.add(-remaining);
+    }
+    busy_ = false;
+    current_label_.clear();
+    current_done_ = EventFn{};
+  }
+  queue_.clear();
+  queue_depth_.set(0.0);
 }
 
 void Core::finish_current() {

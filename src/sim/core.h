@@ -51,6 +51,11 @@ class Core {
   /// the telemetry handles. Without this call every update is a no-op.
   void bind_metrics(obs::MetricsRegistry& registry);
 
+  /// Crash path: cancels the in-flight operation (its completion never
+  /// fires) and drops the queue. busy_time() is corrected for the
+  /// unexecuted remainder of the aborted operation.
+  void reset();
+
  private:
   struct Op {
     SimDuration duration;
@@ -71,6 +76,7 @@ class Core {
   // parking it here lets the scheduled completion event capture only `this`
   // and stay within the event queue's inline closure buffer.
   EventFn current_done_;
+  EventId finish_event_ = 0;  ///< valid only while busy_ (reset() cancels it)
   SimDuration busy_time_ = 0;
   obs::CounterHandle ops_total_;      ///< vs_core_ops_total
   obs::CounterHandle busy_ns_total_;  ///< vs_core_busy_ns_total

@@ -7,6 +7,7 @@
 
 #include "apps/benchmarks.h"
 #include "apps/bundling.h"
+#include "faults/scenario.h"
 #include "fpga/board.h"
 #include "runtime/board_runtime.h"
 #include "runtime/invariants.h"
@@ -126,9 +127,14 @@ TEST_P(ChaosSweep, RandomActionsNeverBreakInvariants) {
                     GetParam() % 2 ? fpga::FabricConfig::big_little()
                                    : fpga::FabricConfig::only_little(),
                     params);
-  // Fault injection on top of chaos for half the seeds.
+  // Fault injection on top of chaos for a third of the seeds, configured
+  // through the scenario's single seed-derivation rule.
   if (GetParam() % 3 == 0) {
-    board.pcap().set_fault_model(0.1, util::Rng(GetParam()));
+    faults::FaultScenario scenario;
+    scenario.seed = GetParam();
+    scenario.pcap_crc_probability = 0.1;
+    board.pcap().set_fault_model(scenario.pcap_crc_probability,
+                                 scenario.stream("pcap/0"));
   }
   ChaosPolicy policy(GetParam());
   runtime::BoardRuntime rt(board, policy);

@@ -423,6 +423,54 @@ TEST(TelemetryDeterminism, ClusterResultsAreBitIdenticalWithMetricsOn) {
   }
 }
 
+TEST(TelemetryDeterminism, FaultyClusterResultsAreBitIdenticalWithMetricsOn) {
+  // Same guarantee under an active fault plane: attaching telemetry to a
+  // run with crashes, flaps and SEUs must not perturb a single event.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 25;
+  util::Rng rng(2025);
+  auto seq = workload::generate_sequence(config, rng);
+
+  cluster::ClusterOptions options;
+  options.faults.seed = 77;
+  options.faults.hazards.board_crash_per_s = 0.05;
+  options.faults.hazards.link_flap_per_s = 0.05;
+  options.faults.hazards.slot_seu_per_s = 0.1;
+  options.faults.horizon = sim::seconds(60.0);
+  options.faults.timeline.push_back(
+      {sim::seconds(1.0), faults::FaultKind::kBoardCrash, 0, -1});
+
+  metrics::ClusterRunResult plain = metrics::run_cluster(suite, seq, options);
+
+  obs::Telemetry telemetry;
+  metrics::ClusterRunResult instrumented = metrics::run_cluster(
+      suite, seq, options, sim::seconds(36000.0), &telemetry);
+
+  ASSERT_GT(plain.recovery.boards_crashed, 0);
+  ASSERT_EQ(instrumented.response_ms.size(), plain.response_ms.size());
+  for (std::size_t i = 0; i < plain.response_ms.size(); ++i) {
+    EXPECT_EQ(instrumented.response_ms[i], plain.response_ms[i]) << i;
+  }
+  EXPECT_EQ(instrumented.recovery.boards_crashed,
+            plain.recovery.boards_crashed);
+  EXPECT_EQ(instrumented.recovery.boards_rebooted,
+            plain.recovery.boards_rebooted);
+  EXPECT_EQ(instrumented.recovery.link_flaps, plain.recovery.link_flaps);
+  EXPECT_EQ(instrumented.recovery.slot_seus, plain.recovery.slot_seus);
+  EXPECT_EQ(instrumented.recovery.apps_evacuated,
+            plain.recovery.apps_evacuated);
+  EXPECT_EQ(instrumented.recovery.apps_restarted,
+            plain.recovery.apps_restarted);
+  EXPECT_EQ(instrumented.recovery.mttr_total, plain.recovery.mttr_total);
+  EXPECT_EQ(instrumented.availability, plain.availability);
+  // The fault instruments resolved and counted.
+  EXPECT_GT(sum_counters(telemetry.registry(), "vs_faults_injected_total"),
+            0);
+}
+
 TEST(TelemetryInstrumentation, ClusterRunPopulatesAllInstrumentFamilies) {
   // The fig5 stress cell: every instrument family — PCAP, cores, slots,
   // D_switch policy loop, Aurora link — must end the run non-zero

@@ -9,6 +9,7 @@
 
 #include "apps/benchmarks.h"
 #include "baselines/dml.h"
+#include "faults/scenario.h"
 #include "fpga/board.h"
 #include "metrics/experiment.h"
 #include "runtime/board_runtime.h"
@@ -122,7 +123,11 @@ TEST(FaultInjection, FailedLoadsRetryAndComplete) {
   sim::Simulator sim;
   sim::Core core(sim, "c0");
   fpga::Pcap pcap(sim);
-  pcap.set_fault_model(0.5, util::Rng(42));
+  faults::FaultScenario scenario;
+  scenario.seed = 42;
+  scenario.pcap_crc_probability = 0.5;
+  pcap.set_fault_model(scenario.pcap_crc_probability,
+                       scenario.stream("pcap/0"));
   int done = 0;
   for (int i = 0; i < 20; ++i) {
     pcap.request(sim::ms(1), core, [&] { ++done; });
@@ -141,7 +146,11 @@ TEST(FaultInjection, DeterministicGivenSeed) {
     sim::Simulator sim;
     sim::Core core(sim, "c0");
     fpga::Pcap pcap(sim);
-    pcap.set_fault_model(0.3, util::Rng(7));
+    faults::FaultScenario scenario;
+    scenario.seed = 7;
+    scenario.pcap_crc_probability = 0.3;
+    pcap.set_fault_model(scenario.pcap_crc_probability,
+                         scenario.stream("pcap/0"));
     for (int i = 0; i < 50; ++i) pcap.request(sim::ms(1), core, [] {});
     sim.run();
     return pcap.stats().load_failures;
@@ -153,7 +162,10 @@ TEST(FaultInjection, ZeroProbabilityNeverFails) {
   sim::Simulator sim;
   sim::Core core(sim, "c0");
   fpga::Pcap pcap(sim);
-  pcap.set_fault_model(0.0, util::Rng(7));
+  faults::FaultScenario scenario;
+  scenario.seed = 7;
+  pcap.set_fault_model(scenario.pcap_crc_probability,
+                       scenario.stream("pcap/0"));
   for (int i = 0; i < 50; ++i) pcap.request(sim::ms(1), core, [] {});
   sim.run();
   EXPECT_EQ(pcap.stats().load_failures, 0);
@@ -172,7 +184,11 @@ TEST(FaultInjection, WholeSystemSurvivesFlakyPcap) {
 
   sim::Simulator sim;
   fpga::Board board(sim, "b0", fpga::FabricConfig::big_little(), params);
-  board.pcap().set_fault_model(0.2, util::Rng(99));
+  faults::FaultScenario scenario;
+  scenario.seed = 99;
+  scenario.pcap_crc_probability = 0.2;
+  board.pcap().set_fault_model(scenario.pcap_crc_probability,
+                               scenario.stream("pcap/0"));
   auto policy = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
   runtime::BoardRuntime rt(board, *policy);
   for (const auto& a : seq) {
