@@ -1,14 +1,19 @@
 // Extension: fault resilience of the two-board cluster.
 //
 // A stress workload runs under increasing board-crash hazard rates (with
-// proportional link-flap and slot-SEU hazards, plus one scripted crash of
-// the active board early in the run so every nonzero rate is guaranteed a
-// direct hit). Three failure-handling modes are compared:
+// proportional link-flap and slot-SEU hazards, plus scripted crashes of
+// the initially active board early in the run and of the failover board
+// mid-run, so every nonzero rate is guaranteed direct hits on both fabric
+// configurations — including Big-slot bundles). Four failure-handling
+// modes are compared (filter with --recovery NAME):
 //
 //   no-recovery  -- displaced apps die with the board
 //   kill-restart -- displaced apps restart from scratch on a survivor
 //   recovery     -- paused apps live-migrate with their progress (the
 //                   VersaSlot migration path reused as failure recovery)
+//   checkpoint   -- recovery plus periodic DDR checkpoints: bundled apps
+//                   and apps without committed progress restore to their
+//                   last snapshot instead of restarting from scratch
 //
 // Because lost apps never complete, plain mean response over completions
 // would reward dropping work. The headline metric is therefore the
@@ -60,12 +65,23 @@ int main(int argc, char** argv) {
     const char* name;
     bool enable_recovery;
     bool kill_restart;
+    bool checkpoint;
   };
-  const Mode modes[] = {
-      {"no-recovery", false, false},
-      {"kill-restart", true, true},
-      {"recovery", true, false},
+  const std::vector<Mode> all_modes = {
+      {"no-recovery", false, false, false},
+      {"kill-restart", true, true, false},
+      {"recovery", true, false, false},
+      {"checkpoint", true, false, true},
   };
+  const std::string mode_filter = args.get("recovery");
+  std::vector<Mode> modes;
+  for (const Mode& m : all_modes) {
+    if (mode_filter.empty() || mode_filter == m.name) modes.push_back(m);
+  }
+  if (modes.empty()) {
+    std::cerr << "unknown --recovery mode: " << mode_filter << "\n";
+    return 1;
+  }
 
   auto scenario_for = [&](double rate, std::size_t seq) {
     faults::FaultScenario s;
@@ -75,10 +91,15 @@ int main(int argc, char** argv) {
     s.hazards.link_flap_per_s = rate;
     s.hazards.slot_seu_per_s = 2.0 * rate;
     s.horizon = t_eval;
-    // Guaranteed direct hit: the initial pool is Only.Little, so plane
-    // board 0 (OL0) is the active board 2 s into the congested phase.
+    // Guaranteed direct hits, identical across modes: the initial pool is
+    // Only.Little, so plane board 0 (OL0) is the active board 2 s into the
+    // congested phase; the crash fails the cluster over to Big.Little, so
+    // by 10 s plane board 1 (BL0) is running the backlog — including
+    // Big-slot bundles mid-batch, the case only a checkpoint can save.
     s.timeline.push_back(
         {sim::seconds(2.0), faults::FaultKind::kBoardCrash, 0, -1});
+    s.timeline.push_back(
+        {sim::seconds(10.0), faults::FaultKind::kBoardCrash, 1, -1});
     return s;
   };
 
@@ -88,27 +109,31 @@ int main(int argc, char** argv) {
             << sim::to_seconds(t_eval) << "s) ===\n\n";
 
   auto cells = runner.map<metrics::ClusterRunResult>(
-      std::size(crash_rates) * std::size(modes) * n_seqs,
+      std::size(crash_rates) * modes.size() * n_seqs,
       [&](std::size_t i) {
-        const double rate = crash_rates[i / (std::size(modes) * n_seqs)];
-        const Mode& mode = modes[(i / n_seqs) % std::size(modes)];
+        const double rate = crash_rates[i / (modes.size() * n_seqs)];
+        const Mode& mode = modes[(i / n_seqs) % modes.size()];
         const std::size_t seq = i % n_seqs;
         cluster::ClusterOptions options;
         options.faults = scenario_for(rate, seq);
         options.recovery.enable_recovery = mode.enable_recovery;
         options.recovery.kill_restart = mode.kill_restart;
+        // Checkpointing stays on at rate 0 too: the mode's fault-free
+        // baseline carries the snapshot overhead, so the inflation column
+        // never hides the checkpoint cost.
+        options.checkpoint.enabled = mode.checkpoint;
         return metrics::run_cluster(suite, sequences[seq], options);
       });
 
   util::Table table({"crash/s", "mode", "done", "censored ms", "inflation",
-                     "evac", "restart", "lost", "MTTR ms", "avail"});
+                     "evac", "ckpt", "restart", "lost", "MTTR ms", "avail"});
   std::size_t cursor = 0;
   // Per-mode fault-free baseline for the inflation column (filled by the
   // rate 0 pass, which the grid orders first).
-  double baseline_ms[std::size(modes)] = {};
+  std::vector<double> baseline_ms(modes.size(), 0.0);
   bool ordering_ok = true;
   for (std::size_t ri = 0; ri < std::size(crash_rates); ++ri) {
-    for (std::size_t mi = 0; mi < std::size(modes); ++mi) {
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
       double censored_sum_ms = 0;
       int done = 0, submitted = 0;
       cluster::RecoveryStats stats;
@@ -132,6 +157,7 @@ int main(int argc, char** argv) {
           censored_sum_ms += sim::to_ms(t_eval - arrival);
         }
         stats.apps_evacuated += r.recovery.apps_evacuated;
+        stats.apps_checkpoint_restored += r.recovery.apps_checkpoint_restored;
         stats.apps_restarted += r.recovery.apps_restarted;
         stats.apps_lost += r.recovery.apps_lost;
         stats.apps_shed += r.recovery.apps_shed;
@@ -153,6 +179,7 @@ int main(int argc, char** argv) {
       table.cell(censored_mean, 1);
       table.cell(inflation, 3);
       table.cell(static_cast<std::int64_t>(stats.apps_evacuated));
+      table.cell(static_cast<std::int64_t>(stats.apps_checkpoint_restored));
       table.cell(static_cast<std::int64_t>(stats.apps_restarted));
       table.cell(static_cast<std::int64_t>(stats.apps_lost));
       table.cell(stats.mttr_ms_mean(), 1);
@@ -166,9 +193,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n(recovery evacuates every app with DDR-resident progress "
                "over the Aurora link and restarts only the rest, so its "
-               "censored mean tracks the fault-free run; no-recovery "
-               "forfeits every app caught on the crashed board and pays "
-               "T_eval for each)\n";
+               "censored mean tracks the fault-free run; checkpoint "
+               "additionally restores bundled apps to their last periodic "
+               "DDR snapshot, bounding the re-run window to one interval; "
+               "no-recovery forfeits every app caught on the crashed board "
+               "and pays T_eval for each)\n";
 
   // Optional telemetry capture (--metrics-out PREFIX or VS_METRICS):
   // replay the harshest recovery cell instrumented, so the run report
@@ -180,10 +209,11 @@ int main(int argc, char** argv) {
     options.faults =
         scenario_for(crash_rates[std::size(crash_rates) - 1], 0);
     options.recovery.enable_recovery = true;
+    options.checkpoint.enabled = true;
     (void)metrics::run_cluster(suite, sequences[0], options,
                                sim::seconds(36000.0), &telemetry);
     telemetry.info().config.emplace_back("bench", "ext_fault_resilience");
-    telemetry.info().config.emplace_back("mode", "recovery");
+    telemetry.info().config.emplace_back("mode", "checkpoint");
     telemetry.write_outputs(metrics_out);
     std::cout << "Telemetry written to " << metrics_out
               << ".{prom,jsonl,report.json}\n";

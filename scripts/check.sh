@@ -12,6 +12,7 @@
 #   scripts/check.sh              # everything
 #   SKIP_TSAN=1 scripts/check.sh  # skip the TSan pass
 #   SKIP_ASAN=1 scripts/check.sh  # skip the ASan pass
+#   SKIP_COV=1 scripts/check.sh   # skip the coverage gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +44,13 @@ grep -q 'vs_recovery_mttr_ms' build/fault_smoke.prom
 grep -q 'vs_faults_injected_total' build/fault_smoke.prom
 grep -q 'vs_board_available' build/fault_smoke.prom
 
+echo "== checkpoint smoke (snapshot metrics in exports) =="
+./build/bench/ext_fault_resilience --apps 12 --seqs 1 --recovery checkpoint \
+  --metrics-out build/ckpt_smoke >/dev/null
+grep -q 'vs_ckpt_snapshots_total' build/ckpt_smoke.prom
+grep -q 'vs_ckpt_bytes_total' build/ckpt_smoke.prom
+grep -q 'vs_recovery_checkpoint_restored_apps_total' build/ckpt_smoke.prom
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== ThreadSanitizer: sweep runner =="
   cmake -B build-tsan -S . -DVS_SANITIZE=thread
@@ -58,7 +66,12 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*'
+fi
+
+if [[ "${SKIP_COV:-0}" != "1" ]]; then
+  echo "== coverage gate: src/faults + src/runtime =="
+  scripts/coverage.sh
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the fault and runtime layers. Builds the
+# VS_COVERAGE preset, runs the full test suite, then measures line coverage
+# of src/faults/ and src/runtime/ and fails below the threshold.
+#
+#   scripts/coverage.sh                 # build, test, report, gate (>= 85%)
+#   VS_COV_MIN=80 scripts/coverage.sh   # custom threshold
+#   JOBS=4 scripts/coverage.sh          # build parallelism
+#
+# Uses gcovr when available; otherwise falls back to plain gcov and
+# aggregates its per-file "Lines executed" report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MIN="${VS_COV_MIN:-85}"
+BUILD=build-cov
+
+cmake -B "$BUILD" -S . -DVS_COVERAGE=ON
+cmake --build "$BUILD" -j "$JOBS" --target versaslot_tests
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "== gcovr: src/faults + src/runtime =="
+  gcovr --root . --filter 'src/faults/' --filter 'src/runtime/' \
+    --fail-under-line "$MIN" "$BUILD"
+else
+  echo "== gcov fallback: src/faults + src/runtime =="
+  total_lines=0
+  covered_lines=0
+  for src in src/faults/*.cpp src/runtime/*.cpp; do
+    obj_dir=$(dirname "$BUILD/src/CMakeFiles/versaslot_core.dir/${src#src/}")
+    gcno=$(find "$BUILD/src" -name "$(basename "$src").gcno" | head -n 1)
+    if [[ -z "$gcno" ]]; then
+      echo "no coverage data for $src" >&2
+      exit 1
+    fi
+    # gcov prints "Lines executed:NN.NN% of M" per source file; run it in a
+    # scratch dir so .gcov artifacts don't litter the tree.
+    out=$(cd "$(dirname "$gcno")" && gcov -n "$(basename "$gcno")" 2>/dev/null |
+          grep -A 1 "File '.*$(basename "$src")'" |
+          grep -o 'Lines executed:[0-9.]*% of [0-9]*' | head -n 1)
+    if [[ -z "$out" ]]; then
+      echo "no gcov report for $src" >&2
+      exit 1
+    fi
+    pct=$(echo "$out" | sed -E 's/Lines executed:([0-9.]*)% of [0-9]*/\1/')
+    n=$(echo "$out" | sed -E 's/.* of ([0-9]*)/\1/')
+    hit=$(awk -v p="$pct" -v n="$n" 'BEGIN { printf "%d", p * n / 100 + 0.5 }')
+    printf '  %-40s %6s%% of %s lines\n' "$src" "$pct" "$n"
+    total_lines=$((total_lines + n))
+    covered_lines=$((covered_lines + hit))
+  done
+  pct=$(awk -v c="$covered_lines" -v t="$total_lines" \
+        'BEGIN { printf "%.2f", 100 * c / t }')
+  echo "== line coverage: $pct% ($covered_lines/$total_lines) =="
+  awk -v p="$pct" -v m="$MIN" 'BEGIN { exit !(p >= m) }' || {
+    echo "coverage $pct% is below the $MIN% gate" >&2
+    exit 1
+  }
+fi
+echo "== coverage gate passed =="

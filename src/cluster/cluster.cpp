@@ -74,6 +74,16 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
           "vs_recovery_evac_latency_ms", obs::default_ms_bounds())};
       m_mttr_ = obs::HistogramHandle{
           &reg.histogram("vs_recovery_mttr_ms", obs::default_ms_bounds())};
+      if (options_.checkpoint.active()) {
+        // Registered only when checkpointing is on, so recovery-without-
+        // checkpoint exports stay byte-identical to PR 4.
+        m_ckpt_restored_ = obs::CounterHandle{&reg.counter(
+            "vs_recovery_checkpoint_restored_apps_total")};
+        m_restored_items_ = obs::HistogramHandle{&reg.histogram(
+            "vs_ckpt_restored_items", obs::default_count_bounds())};
+        m_rerun_window_ms_ = obs::HistogramHandle{&reg.histogram(
+            "vs_ckpt_rerun_window_ms", obs::default_ms_bounds())};
+      }
     }
     for (auto& b : boards_ol_) {
       fault_plane_->add_board(*b);
@@ -115,6 +125,7 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
     completed_.push_back(c);
     on_queue_update();
   });
+  epoch->runtime->enable_checkpoints(options_.checkpoint);
   // Idempotent registration: a board reused across epochs resolves the same
   // cells, so its counters accumulate over the whole cluster run.
   if (options_.metrics != nullptr) {
@@ -397,6 +408,11 @@ void Cluster::on_health_event(const faults::HealthEvent& e) {
         runtime::BoardRuntime::CrashReport report = ep->runtime->crash();
         std::move(report.evacuable.begin(), report.evacuable.end(),
                   std::back_inserter(evacuable));
+        // Checkpoint-restored apps ride the same evacuation transfer as
+        // live-migrated ones (their snapshot bytes are in state_bytes);
+        // the from_checkpoint flag keeps the accounting separate.
+        std::move(report.checkpointed.begin(), report.checkpointed.end(),
+                  std::back_inserter(evacuable));
         std::move(report.killed.begin(), report.killed.end(),
                   std::back_inserter(killed));
       }
@@ -520,6 +536,15 @@ void Cluster::handle_crash(std::vector<MigratedApp> evacuable,
     if (m.progress.empty()) {
       ++recovery_stats_.apps_restarted;
       m_restarted_.add();
+    } else if (m.from_checkpoint) {
+      ++recovery_stats_.apps_checkpoint_restored;
+      m_ckpt_restored_.add();
+      std::int64_t restored_items = 0;
+      for (int d : m.progress) restored_items += d;
+      m_restored_items_.observe(static_cast<double>(restored_items));
+      // Work since the snapshot re-runs on the target board; the window is
+      // bounded by one checkpoint interval.
+      m_rerun_window_ms_.observe(sim::to_ms(crash_time - m.ckpt_time));
     } else {
       ++recovery_stats_.apps_evacuated;
       m_evacuated_.add();

@@ -28,6 +28,7 @@
 #include "fpga/board.h"
 #include "obs/metrics.h"
 #include "runtime/board_runtime.h"
+#include "runtime/checkpoint.h"
 #include "workload/generator.h"
 
 namespace vs::cluster {
@@ -60,6 +61,7 @@ struct RecoveryStats {
   int link_flaps = 0;
   int slot_seus = 0;
   int apps_evacuated = 0;  ///< live-migrated with progress preserved
+  int apps_checkpoint_restored = 0;  ///< restored from a DDR checkpoint
   int apps_restarted = 0;  ///< displaced and restarted from scratch
   int apps_lost = 0;       ///< no recovery: died with the board
   int apps_shed = 0;       ///< degradation: dropped Little-slot work
@@ -105,6 +107,11 @@ struct ClusterOptions {
   /// fault-free build — outputs stay byte-for-byte the same.
   faults::FaultScenario faults;
   RecoveryOptions recovery;
+  /// Periodic DDR checkpointing on every board epoch. Inactive (the
+  /// default) schedules nothing and keeps all outputs byte-identical;
+  /// active, crashed bundled apps restore to their last snapshot instead
+  /// of restarting from scratch.
+  runtime::CheckpointPolicy checkpoint;
 };
 
 struct SwitchEvent {
@@ -243,12 +250,17 @@ class Cluster {
   obs::GaugeHandle m_active_apps_;       ///< vs_cluster_active_apps
   // Recovery instruments.
   obs::CounterHandle m_evacuated_;    ///< vs_recovery_evacuated_apps_total
+  /// vs_recovery_checkpoint_restored_apps_total (checkpointing only).
+  obs::CounterHandle m_ckpt_restored_;
   obs::CounterHandle m_restarted_;    ///< vs_recovery_restarted_apps_total
   obs::CounterHandle m_lost_;         ///< vs_recovery_lost_apps_total
   obs::CounterHandle m_shed_;         ///< vs_recovery_shed_apps_total
   obs::CounterHandle m_readmitted_;   ///< vs_recovery_readmissions_total
   obs::HistogramHandle m_evac_latency_;  ///< vs_recovery_evac_latency_ms
   obs::HistogramHandle m_mttr_;          ///< vs_recovery_mttr_ms
+  // Checkpoint-restore instruments (faults + checkpointing only).
+  obs::HistogramHandle m_restored_items_;   ///< vs_ckpt_restored_items
+  obs::HistogramHandle m_rerun_window_ms_;  ///< vs_ckpt_rerun_window_ms
 };
 
 }  // namespace vs::cluster

@@ -58,6 +58,19 @@ struct BoardParams {
   // ---- OCM mailbox between PR server and scheduler cores.
   sim::SimDuration ocm_message_latency = sim::us(2.0);
 
+  // ---- DDR checkpoint snapshots (runtime::CheckpointPolicy).
+  // Snapshots copy DDR-resident progress (descriptors, staging headers,
+  // queued inter-stage buffers) into a reserved checkpoint region; the copy
+  // runs at DDR-to-DDR bandwidth and holds the issuing core.
+  double ckpt_bandwidth_bytes_per_s = 8e9;
+  sim::SimDuration ckpt_fixed_overhead = sim::us(10.0);  ///< per-pass setup
+
+  [[nodiscard]] sim::SimDuration ckpt_snapshot_time(std::int64_t bytes) const {
+    return ckpt_fixed_overhead +
+           static_cast<sim::SimDuration>(
+               static_cast<double>(bytes) / ckpt_bandwidth_bytes_per_s * 1e9);
+  }
+
   // ---- Hypervisor core operation costs (bare-metal ARM Cortex-A53).
   sim::SimDuration sched_pass_cost = sim::us(20.0);   ///< one scheduling pass
   sim::SimDuration launch_op_cost = sim::us(50.0);    ///< buffer alloc + DMA kick

@@ -16,6 +16,7 @@
 #include "fpga/params.h"
 #include "obs/telemetry.h"
 #include "runtime/board_runtime.h"
+#include "runtime/checkpoint.h"
 #include "util/stats.h"
 #include "workload/generator.h"
 
@@ -56,11 +57,18 @@ struct RunResult {
   std::vector<runtime::CompletedApp> apps;  ///< completion order
   std::vector<double> response_ms;   ///< per completed app
   util::Summary response;            ///< summary over response_ms
-  runtime::RuntimeCounters counters;
+  runtime::RuntimeCounters counters; ///< summed over board epochs
   runtime::UtilizationIntegral utilization;
   sim::SimTime makespan = 0;         ///< completion time of the last app
   int submitted = 0;
   int completed = 0;
+  /// Fault bookkeeping (all zero without a fault scenario). On a single
+  /// board every displaced app is held and re-admitted at reboot, so
+  /// apps_lost/apps_shed stay zero; evacuated / checkpoint_restored /
+  /// restarted record how much progress survived each crash.
+  cluster::RecoveryStats recovery;
+  /// Board availability over the run (1.0 without a fault plane).
+  double availability = 1.0;
 };
 
 struct RunOptions {
@@ -81,11 +89,17 @@ struct RunOptions {
   /// runs only — parallel sweep jobs must leave this null (one registry
   /// cannot be shared across replica threads).
   obs::Telemetry* telemetry = nullptr;
-  /// Fault injection. Single boards have no recovery plane: only the PCAP
-  /// CRC model applies (stream "pcap/0"). Disabled by default — the
-  /// fault-free path is untouched. Cluster runs take the scenario through
-  /// ClusterOptions::faults instead.
+  /// Fault injection: the full scenario (PCAP CRC via stream "pcap/0",
+  /// board crashes, slot SEUs, scripted timeline) drives a FaultPlane with
+  /// this board registered as plane board 0. A crash freezes the live
+  /// runtime epoch and holds displaced apps (and arrivals while down);
+  /// the reboot scrubs the fabric, starts a fresh epoch and re-admits
+  /// them. Link events are ignored — one board has no Aurora link.
+  /// Disabled by default: the fault-free path is untouched. Cluster runs
+  /// take the scenario through ClusterOptions::faults instead.
   faults::FaultScenario faults;
+  /// Periodic DDR checkpointing (restores bundled apps across crashes).
+  runtime::CheckpointPolicy checkpoint;
 };
 
 /// Runs `sequence` to completion under `kind` on a fresh single board.

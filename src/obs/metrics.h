@@ -89,6 +89,10 @@ class Histogram {
 /// logarithmic — wide enough for PCAP waits and whole-app response times.
 [[nodiscard]] std::vector<double> default_ms_bounds();
 
+/// Count buckets spanning 1 .. 1000, roughly logarithmic — for discrete
+/// volumes such as items restored from a checkpoint or queue depths.
+[[nodiscard]] std::vector<double> default_count_bounds();
+
 // ---------------------------------------------------------------- handles
 // Null-by-default views instrumented components store. Updates through a
 // default-constructed handle are no-ops costing one branch; no allocation

@@ -50,6 +50,14 @@ void BoardRuntime::bind_metrics(obs::MetricsRegistry& registry) {
       "vs_app_response_ms", obs::default_ms_bounds(), labels)};
   m_item_ms_ = obs::HistogramHandle{&registry.histogram(
       "vs_runtime_item_ms", obs::default_ms_bounds(), labels)};
+  if (ckpt_.active()) {
+    // Registered only when checkpointing is on, so checkpoint-free exports
+    // stay byte-identical.
+    m_ckpt_snapshots_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_snapshots_total", labels)};
+    m_ckpt_bytes_ =
+        obs::CounterHandle{&registry.counter("vs_ckpt_bytes_total", labels)};
+  }
   for (std::size_t s = 0; s < m_slot_state_.size(); ++s) {
     obs::Labels state_labels = labels;
     state_labels.emplace_back(
@@ -95,8 +103,84 @@ int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
   apps_.push_back(std::move(app));
   int id = apps_.back().id;
   policy_.on_app_submitted(*this, id);
+  arm_checkpoint();
   kick();
   return id;
+}
+
+void BoardRuntime::enable_checkpoints(const CheckpointPolicy& policy) {
+  assert(apps_.empty() &&
+         "enable checkpointing before the first admission");
+  ckpt_ = policy;
+}
+
+void BoardRuntime::arm_checkpoint() {
+  if (!ckpt_.active() || ckpt_armed_ || crashed_) return;
+  ckpt_armed_ = true;
+  sim().schedule(ckpt_.interval, [this] {
+    ckpt_armed_ = false;
+    if (crashed_) return;
+    checkpoint_pass();
+    // Re-arm only while apps are active: a drained board goes dormant (and
+    // never ping-pongs with the telemetry Sampler's idle check); the next
+    // submit re-arms the chain.
+    if (active_apps() > 0) arm_checkpoint();
+  });
+}
+
+void BoardRuntime::checkpoint_pass() {
+  std::int64_t pass_bytes = 0;
+  std::vector<int> snap;
+  for (AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done() || !a.started) continue;
+    // Expand to per-task progress: a bundle's items_done means that many
+    // items passed through every task in its range, so each covered task
+    // inherits the bundle count. Pipeline item-readiness keeps items_done
+    // non-increasing across units, so the expansion stays monotone and
+    // restores cleanly through submit_with_progress.
+    snap.clear();
+    bool any = false;
+    for (const UnitRun& u : a.units) {
+      for (int t = 0; t < u.spec.task_count(); ++t) {
+        snap.push_back(u.items_done);
+      }
+      any |= u.items_done > 0;
+    }
+    if (!any) continue;  // nothing committed: a snapshot restores nothing
+    if (a.ckpt_time >= 0 && snap == a.ckpt_progress) {
+      // Unchanged since the last snapshot: skip the copy but refresh the
+      // timestamp — the restore point still reflects "now", keeping the
+      // re-run window bounded by one interval.
+      a.ckpt_time = sim().now();
+      continue;
+    }
+    // Snapshot volume: descriptor + per-item staging headers + the
+    // inter-stage buffers queued between pipeline units (the same DDR
+    // footprint migrated_with_progress ships over the Aurora link).
+    std::int64_t bytes =
+        4096 + static_cast<std::int64_t>(a.batch) * 16384;
+    int upstream_done = a.batch;
+    for (const UnitRun& u : a.units) {
+      std::int64_t queued_items = upstream_done - u.items_done;
+      bytes += queued_items * u.spec.item_bytes_in;
+      upstream_done = u.items_done;
+    }
+    a.ckpt_progress = snap;
+    a.ckpt_time = sim().now();
+    a.ckpt_bytes = bytes;
+    pass_bytes += bytes;
+    ++counters_.ckpt_snapshots;
+    counters_.ckpt_bytes += bytes;
+    m_ckpt_snapshots_.add();
+    m_ckpt_bytes_.add(bytes);
+  }
+  if (pass_bytes > 0) {
+    // Charge the DDR-to-DDR snapshot copy on the scheduler core: launches
+    // and passes queue behind it, so the checkpoint cost is visible in
+    // response times.
+    board_.scheduler_core().submit(
+        board_.params().ckpt_snapshot_time(pass_bytes), [] {}, "ckpt");
+  }
 }
 
 void BoardRuntime::set_units(int app_id, std::vector<apps::UnitSpec> units) {
@@ -408,9 +492,11 @@ BoardRuntime::CrashReport BoardRuntime::crash() {
   // Running apps lose the in-flight item (its result was still in the
   // fabric) but keep their DDR-resident progress, provided they are still
   // on the per-task decomposition. Bundled apps are bound to the Big
-  // slots they died on (§III-C) and carry no portable progress — killed
-  // descriptors restart from scratch elsewhere, as do apps that never
-  // completed an item.
+  // slots they died on (§III-C) and carry no portable *live* progress —
+  // but when checkpointing is on, their last DDR snapshot restores them
+  // through the same submit_with_progress packing, re-running at most one
+  // checkpoint interval. Only apps with neither live progress nor a
+  // snapshot are truly lost: killed descriptors restart from scratch.
   for (AppRun& a : apps_) {
     if (a.spec == nullptr || a.done()) continue;
     bool per_task =
@@ -419,6 +505,13 @@ BoardRuntime::CrashReport BoardRuntime::crash() {
     for (const UnitRun& u : a.units) has_progress |= u.items_done > 0;
     if (per_task && has_progress) {
       report.evacuable.push_back(migrated_with_progress(a));
+    } else if (a.ckpt_time >= 0) {
+      MigratedApp m = migrated_descriptor(a);
+      m.progress = a.ckpt_progress;
+      m.state_bytes = a.ckpt_bytes;
+      m.from_checkpoint = true;
+      m.ckpt_time = a.ckpt_time;
+      report.checkpointed.push_back(std::move(m));
     } else {
       report.killed.push_back(migrated_descriptor(a));
     }
@@ -430,13 +523,15 @@ BoardRuntime::CrashReport BoardRuntime::crash() {
   // Cores drop their queues and in-flight ops (this also cancels the core
   // op that would have completed the PCAP's in-flight load), then the PCAP
   // clears its FIFO. Stale simulator events (DMA completions, item
-  // finishes, OCM posts) hit the crashed_ guards and die.
+  // finishes, OCM posts, checkpoint ticks) hit the crashed_ guards and
+  // die.
   board_.scheduler_core().reset();
   board_.pr_core().reset();
   board_.pcap().reset();
   refresh_slot_gauges();
   VS_WARN << board_.name() << ": crashed (" << report.evacuable.size()
-          << " evacuable, " << report.killed.size() << " killed)";
+          << " evacuable, " << report.checkpointed.size()
+          << " checkpoint-restored, " << report.killed.size() << " killed)";
   return report;
 }
 

@@ -21,6 +21,7 @@
 #include "apps/task.h"
 #include "fpga/board.h"
 #include "obs/metrics.h"
+#include "runtime/checkpoint.h"
 #include "runtime/policy.h"
 #include "sim/trace.h"
 
@@ -64,6 +65,11 @@ struct AppRun {
   bool started = false;       ///< any PR ever issued for it
   sim::SimTime completed = -1;
   sim::SimTime stream_kick = -1;  ///< pending wake-up for streamed items
+  /// Last DDR checkpoint (CheckpointPolicy): expanded per-task progress,
+  /// when it was taken (-1 = never), and its snapshot byte volume.
+  std::vector<int> ckpt_progress;
+  sim::SimTime ckpt_time = -1;
+  std::int64_t ckpt_bytes = 0;
 
   [[nodiscard]] bool done() const noexcept { return completed >= 0; }
 
@@ -104,6 +110,8 @@ struct RuntimeCounters {
   std::int64_t apps_completed = 0;
   std::int64_t preemptions = 0;
   std::int64_t passes = 0;
+  std::int64_t ckpt_snapshots = 0;  ///< per-app snapshots committed
+  std::int64_t ckpt_bytes = 0;      ///< total snapshot bytes copied
 };
 
 /// Time-integrated fabric utilisation (numerators in resource·ns).
@@ -269,24 +277,45 @@ class BoardRuntime {
     std::int64_t state_bytes;
     /// Per-task completed item counts; empty when the app never started.
     std::vector<int> progress;
+    /// The progress vector is a DDR checkpoint restore, not live state:
+    /// the app re-runs the window since `ckpt_time` (≤ one interval).
+    bool from_checkpoint = false;
+    sim::SimTime ckpt_time = -1;
   };
   [[nodiscard]] std::vector<MigratedApp> extract_unstarted();
 
+  // ---------------------------------------------------------- checkpointing
+  /// Enables periodic DDR snapshots (see runtime/checkpoint.h). Call before
+  /// the first submit and before bind_metrics — the checkpoint instruments
+  /// are registered only when the policy is active, so checkpoint-free
+  /// exports stay byte-identical.
+  void enable_checkpoints(const CheckpointPolicy& policy);
+  [[nodiscard]] const CheckpointPolicy& checkpoint_policy() const noexcept {
+    return ckpt_;
+  }
+
   // ------------------------------------------------------------ fault plane
-  /// Board crash result: `evacuable` apps were paused between items and
-  /// carry their progress (the recovery policy live-migrates them);
-  /// `killed` apps had units configured or mid-item — their volatile state
-  /// is lost and they can only restart from scratch (empty progress).
+  /// Board crash result, partitioned three ways: `evacuable` apps were
+  /// between items with DDR-resident per-task progress (the recovery policy
+  /// live-migrates them, unchanged from a D_switch migration);
+  /// `checkpointed` apps — bundled apps and apps caught without committed
+  /// per-task progress — carry the expanded progress of their last DDR
+  /// checkpoint and restore through the same submit_with_progress packing;
+  /// `killed` apps had neither and can only restart from scratch (empty
+  /// progress). Without an active CheckpointPolicy, `checkpointed` is
+  /// always empty and the partition matches the two-way PR 4 behaviour.
   struct CrashReport {
     std::vector<MigratedApp> evacuable;
+    std::vector<MigratedApp> checkpointed;
     std::vector<MigratedApp> killed;
   };
 
   /// Kills this board: every active app is extracted (paused apps as
-  /// evacuable, the rest as killed descriptors), all slots are scrubbed,
-  /// the cores and PCAP reset, and the runtime freezes — stale in-flight
-  /// events (DMA completions, item finishes, OCM posts) become no-ops.
-  /// Terminal: a rebooted board gets a fresh BoardRuntime epoch.
+  /// evacuable, checkpointed apps to their last snapshot, the rest as
+  /// killed descriptors), all slots are scrubbed, the cores and PCAP
+  /// reset, and the runtime freezes — stale in-flight events (DMA
+  /// completions, item finishes, OCM posts, checkpoint ticks) become
+  /// no-ops. Terminal: a rebooted board gets a fresh BoardRuntime epoch.
   [[nodiscard]] CrashReport crash();
   [[nodiscard]] bool crashed() const noexcept { return crashed_; }
 
@@ -321,6 +350,12 @@ class BoardRuntime {
   void touch_utilization();
   /// Recounts the per-state slot occupancy gauges; no-op until bound.
   void refresh_slot_gauges();
+  /// Schedules the next checkpoint tick (no-op when the policy is inactive,
+  /// a tick is already pending, or the board crashed).
+  void arm_checkpoint();
+  /// Snapshots every started app with committed progress, then charges the
+  /// total snapshot DMA on the scheduler core.
+  void checkpoint_pass();
 
   fpga::Board& board_;
   SchedulerPolicy& policy_;
@@ -334,6 +369,8 @@ class BoardRuntime {
   bool pass_queued_ = false;
   bool admission_open_ = true;
   bool crashed_ = false;
+  CheckpointPolicy ckpt_;
+  bool ckpt_armed_ = false;
   int full_fabric_app_ = -1;  ///< baseline: app owning the whole fabric
   std::int64_t window_blocked_ = 0;
   sim::SimTime last_util_touch_ = 0;
@@ -349,6 +386,9 @@ class BoardRuntime {
   obs::CounterHandle m_passes_;          ///< vs_runtime_passes_total
   obs::HistogramHandle m_response_ms_;   ///< vs_app_response_ms
   obs::HistogramHandle m_item_ms_;       ///< vs_runtime_item_ms
+  // Checkpoint instruments (registered only when ckpt_.active()).
+  obs::CounterHandle m_ckpt_snapshots_;  ///< vs_ckpt_snapshots_total
+  obs::CounterHandle m_ckpt_bytes_;      ///< vs_ckpt_bytes_total
   /// vs_slot_state_count{state=...}, indexed by fpga::SlotState.
   std::array<obs::GaugeHandle, 4> m_slot_state_{};
 };

@@ -1,0 +1,34 @@
+// Periodic DDR checkpointing of slot state.
+//
+// PR 4's crash model is a PL wedge: DDR survives, the fabric does not.
+// Live migration (§III-D) can therefore evacuate any app whose progress is
+// DDR-resident — but bundled apps bound to Big slots carry no portable
+// progress, and a per-task app caught before its first committed item has
+// nothing to evacuate either. A CheckpointPolicy closes that gap: every
+// `interval` the runtime snapshots the expanded per-task progress of each
+// started app into DDR (charging the snapshot DMA on the scheduler core so
+// the cost shows up in response times), and BoardRuntime::crash() restores
+// apps that are not live-evacuable to their last snapshot instead of
+// killing them. The re-run window per app is bounded by one interval.
+//
+// Disabled by default: a default-constructed policy schedules nothing and
+// leaves every code path untouched, so checkpoint-free runs stay
+// byte-identical.
+#pragma once
+
+#include "sim/time.h"
+
+namespace vs::runtime {
+
+struct CheckpointPolicy {
+  bool enabled = false;
+  /// Snapshot cadence. The tick chain arms on first admission and re-arms
+  /// while the board has active apps, so drained boards schedule nothing.
+  sim::SimDuration interval = sim::ms(25.0);
+
+  [[nodiscard]] bool active() const noexcept {
+    return enabled && interval > 0;
+  }
+};
+
+}  // namespace vs::runtime

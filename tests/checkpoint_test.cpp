@@ -1,0 +1,410 @@
+// Tests for the periodic DDR checkpointing subsystem: snapshot semantics on
+// the BoardRuntime (restored progress never exceeds true progress, re-run
+// window bounded by one interval), checkpoint-restored evacuation through
+// the cluster recovery path, byte-identity of checkpoint-free runs, serial
+// vs parallel vs instrumented determinism, and a frozen seed golden for a
+// checkpointed-recovery cluster run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "cluster/cluster.h"
+#include "faults/scenario.h"
+#include "fpga/board.h"
+#include "metrics/experiment.h"
+#include "metrics/sweep.h"
+#include "obs/telemetry.h"
+#include "runtime/board_runtime.h"
+#include "runtime/checkpoint.h"
+#include "runtime/invariants.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+#include "workload/generator.h"
+
+namespace vs {
+namespace {
+
+// Expands an app's live per-unit progress to the per-task vector the
+// checkpoint and migration paths use (each task covered by a unit carries
+// the unit's completed item count).
+std::vector<int> expand_progress(const runtime::AppRun& app) {
+  std::vector<int> out;
+  for (const runtime::UnitRun& u : app.units) {
+    for (int t = 0; t < u.spec.task_count(); ++t) out.push_back(u.items_done);
+  }
+  return out;
+}
+
+// Cluster options with the two scripted crashes the checkpoint bench uses:
+// the initially active Only.Little board at 2 s and the Big.Little
+// failover board at 10 s (the crash that catches bundles mid-batch).
+cluster::ClusterOptions checkpointed_options(bool enable_checkpoint) {
+  cluster::ClusterOptions options;
+  options.faults.seed = 404;
+  options.faults.timeline.push_back(
+      {sim::seconds(2.0), faults::FaultKind::kBoardCrash, 0, -1});
+  options.faults.timeline.push_back(
+      {sim::seconds(10.0), faults::FaultKind::kBoardCrash, 1, -1});
+  options.recovery.enable_recovery = true;
+  options.checkpoint.enabled = enable_checkpoint;
+  return options;
+}
+
+workload::Sequence stress_sequence(std::uint64_t seed, int n_apps = 20) {
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = n_apps;
+  util::Rng rng(seed);
+  return workload::generate_sequence(config, rng);
+}
+
+// ------------------------------------------------------ CheckpointProperty
+
+TEST(CheckpointProperty, RestoredProgressBoundedByTruthAndInterval) {
+  // Randomised seeds x intervals x crash times on a Big.Little board under
+  // the VersaSlot policy (so Big-slot bundles form). At the crash, every
+  // checkpoint-restored descriptor must carry progress element-wise <= the
+  // app's true progress, monotone non-increasing along the pipeline, and a
+  // snapshot no older than one interval; every live-evacuable descriptor
+  // must carry exactly the true progress.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  int total_checkpointed = 0;
+  int total_evacuable = 0;
+  const double crash_s[] = {1.3, 2.0, 2.9};
+  int cell = 0;
+  for (std::uint64_t seed : {11, 23, 47}) {
+    for (double interval_ms : {5.0, 17.0, 40.0}) {
+      auto seq = stress_sequence(seed, 12);
+      sim::Simulator sim;
+      fpga::Board board(sim, "b0", fpga::FabricConfig::big_little(), params);
+      auto policy = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
+      runtime::BoardRuntime rt(board, *policy);
+      runtime::CheckpointPolicy ckpt;
+      ckpt.enabled = true;
+      ckpt.interval = sim::ms(interval_ms);
+      rt.enable_checkpoints(ckpt);
+      for (const auto& a : seq) {
+        sim.schedule_at(a.arrival, [&rt, &suite, a] {
+          if (rt.crashed()) return;
+          rt.submit(suite[static_cast<std::size_t>(a.spec_index)],
+                    a.spec_index, a.batch, a.arrival);
+        });
+      }
+      const sim::SimTime crash_at = sim::seconds(crash_s[cell++ % 3]);
+      while (sim.step() && sim.now() < crash_at) {
+      }
+      const int active_before = rt.active_apps();
+      ASSERT_GT(active_before, 0) << "seed " << seed;
+
+      // True progress at the instant of the crash, keyed by identity.
+      // (Keys can collide when two apps of one spec share an arrival;
+      // ambiguous keys are skipped rather than guessed.)
+      std::map<std::pair<int, sim::SimTime>, std::vector<std::vector<int>>>
+          truth;
+      for (const runtime::AppRun& a : rt.apps()) {
+        if (a.spec == nullptr || a.done()) continue;
+        truth[{a.spec_index, a.arrival}].push_back(expand_progress(a));
+      }
+      auto lookup =
+          [&](const runtime::BoardRuntime::MigratedApp& m)
+          -> const std::vector<int>* {
+        auto it = truth.find({m.spec_index, m.arrival});
+        if (it == truth.end() || it->second.size() != 1) return nullptr;
+        return &it->second.front();
+      };
+
+      auto report = rt.crash();
+      const sim::SimTime now = sim.now();
+      EXPECT_EQ(static_cast<int>(report.evacuable.size() +
+                                 report.checkpointed.size() +
+                                 report.killed.size()),
+                active_before);
+      total_checkpointed += static_cast<int>(report.checkpointed.size());
+      total_evacuable += static_cast<int>(report.evacuable.size());
+      for (const auto& m : report.checkpointed) {
+        EXPECT_TRUE(m.from_checkpoint);
+        if (const std::vector<int>* live = lookup(m)) {
+          ASSERT_EQ(m.progress.size(), live->size());
+          for (std::size_t i = 0; i < m.progress.size(); ++i) {
+            // Restored progress never exceeds true progress at the crash.
+            EXPECT_LE(m.progress[i], (*live)[i])
+                << "seed " << seed << " interval " << interval_ms
+                << " task " << i;
+          }
+        }
+        for (std::size_t i = 0; i + 1 < m.progress.size(); ++i) {
+          EXPECT_GE(m.progress[i], m.progress[i + 1]);  // pipeline order
+        }
+        // Re-run window: the snapshot is at most one interval old.
+        ASSERT_GE(m.ckpt_time, 0);
+        EXPECT_LE(now - m.ckpt_time, ckpt.interval)
+            << "seed " << seed << " interval " << interval_ms;
+        EXPECT_GT(m.state_bytes, 0);
+      }
+      for (const auto& m : report.evacuable) {
+        EXPECT_FALSE(m.from_checkpoint);
+        if (m.progress.empty()) continue;  // unstarted: rides along empty
+        if (const std::vector<int>* live = lookup(m)) {
+          EXPECT_EQ(m.progress, *live);  // live state, not a snapshot
+        }
+      }
+      EXPECT_GT(rt.counters().ckpt_snapshots, 0);
+      EXPECT_GT(rt.counters().ckpt_bytes, 0);
+    }
+  }
+  // The grid must actually exercise both partitions.
+  EXPECT_GT(total_checkpointed, 0);
+  EXPECT_GT(total_evacuable, 0);
+}
+
+TEST(CheckpointProperty, RestoredAppsResumeAndComplete) {
+  // Crash one board mid-run, replay every descriptor onto a fresh board via
+  // the same packing the cluster uses; everything must complete.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(7, 10);
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::big_little(), params);
+  auto policy = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
+  runtime::BoardRuntime rt(board, *policy);
+  runtime::CheckpointPolicy ckpt;
+  ckpt.enabled = true;
+  rt.enable_checkpoints(ckpt);
+  int submitted = 0;
+  for (const auto& a : seq) {
+    sim.schedule_at(a.arrival, [&rt, &suite, a] {
+      if (rt.crashed()) return;
+      rt.submit(suite[static_cast<std::size_t>(a.spec_index)], a.spec_index,
+                a.batch, a.arrival);
+    });
+    ++submitted;
+  }
+  const sim::SimTime crash_at = sim::seconds(2.0);
+  while (sim.step() && sim.now() < crash_at) {
+  }
+  const int done_before = static_cast<int>(rt.completed().size());
+  auto report = rt.crash();
+  sim.run();  // drain stale events of the dead epoch
+
+  fpga::Board board2(sim, "b1", fpga::FabricConfig::big_little(), params);
+  auto policy2 = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
+  runtime::BoardRuntime rt2(board2, *policy2);
+  auto replay = [&](const runtime::BoardRuntime::MigratedApp& m) {
+    const auto& spec = suite[static_cast<std::size_t>(m.spec_index)];
+    if (m.progress.empty()) {
+      rt2.submit(spec, m.spec_index, m.batch, m.arrival, m.item_interval);
+    } else {
+      rt2.submit_with_progress(spec, m.spec_index, m.batch, m.arrival,
+                               m.progress, m.item_interval);
+    }
+  };
+  for (const auto& m : report.evacuable) replay(m);
+  for (const auto& m : report.checkpointed) replay(m);
+  for (const auto& m : report.killed) replay(m);
+  sim.run();
+  auto audit_report = runtime::audit(rt2);
+  EXPECT_TRUE(audit_report.ok()) << audit_report.to_string();
+  EXPECT_EQ(done_before + static_cast<int>(rt2.completed().size()),
+            submitted);
+}
+
+TEST(CheckpointProperty, DisabledPolicyNeverSnapshotsOrPartitions) {
+  // Without an active policy the crash report degenerates to the two-way
+  // partition and no checkpoint work is ever scheduled.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(3, 8);
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::big_little(), params);
+  auto policy = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
+  runtime::BoardRuntime rt(board, *policy);
+  for (const auto& a : seq) {
+    sim.schedule_at(a.arrival, [&rt, &suite, a] {
+      if (rt.crashed()) return;
+      rt.submit(suite[static_cast<std::size_t>(a.spec_index)], a.spec_index,
+                a.batch, a.arrival);
+    });
+  }
+  while (sim.step() && sim.now() < sim::ms(60.0)) {
+  }
+  auto report = rt.crash();
+  EXPECT_TRUE(report.checkpointed.empty());
+  EXPECT_EQ(rt.counters().ckpt_snapshots, 0);
+  EXPECT_EQ(rt.counters().ckpt_bytes, 0);
+}
+
+// ---------------------------------------------------- CheckpointRecovery
+
+TEST(CheckpointRecovery, BundledAppsRestoreAndEveryAppCompletes) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  auto result =
+      metrics::run_cluster(suite, seq, checkpointed_options(true));
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_EQ(result.recovery.apps_lost, 0);
+  EXPECT_EQ(result.recovery.boards_crashed, 2);
+  // The Big.Little crash catches bundled work that only a snapshot saves.
+  EXPECT_GT(result.recovery.apps_checkpoint_restored, 0);
+}
+
+TEST(CheckpointRecovery, KillRestartForfeitsSnapshotsToo) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  cluster::ClusterOptions options = checkpointed_options(true);
+  options.recovery.kill_restart = true;
+  auto result = metrics::run_cluster(suite, seq, options);
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_EQ(result.recovery.apps_checkpoint_restored, 0);
+  EXPECT_EQ(result.recovery.apps_evacuated, 0);
+  EXPECT_GT(result.recovery.apps_restarted, 0);
+}
+
+// ---------------------------------------------------- CheckpointDisabled
+
+TEST(CheckpointDisabled, DisabledPolicyIsByteIdenticalToPlainOptions) {
+  // checkpoint.enabled = false (even with a non-default interval) must not
+  // perturb a faulty cluster run in any way.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  auto plain = metrics::run_cluster(suite, seq, checkpointed_options(false));
+  cluster::ClusterOptions options = checkpointed_options(false);
+  options.checkpoint.interval = sim::ms(1.0);  // inert while disabled
+  auto tweaked = metrics::run_cluster(suite, seq, options);
+  ASSERT_EQ(tweaked.response_ms.size(), plain.response_ms.size());
+  for (std::size_t i = 0; i < plain.response_ms.size(); ++i) {
+    EXPECT_EQ(tweaked.response_ms[i], plain.response_ms[i]) << i;
+  }
+  EXPECT_EQ(tweaked.recovery.apps_evacuated, plain.recovery.apps_evacuated);
+  EXPECT_EQ(tweaked.recovery.apps_checkpoint_restored, 0);
+  EXPECT_EQ(plain.recovery.apps_checkpoint_restored, 0);
+  EXPECT_EQ(tweaked.recovery.mttr_total, plain.recovery.mttr_total);
+}
+
+TEST(CheckpointDisabled, NoCheckpointInstrumentsRegistered) {
+  // Telemetry exports of a checkpoint-free run must not even mention the
+  // checkpoint instruments (byte-identity of existing exports).
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41, 10);
+  obs::Telemetry telemetry;
+  (void)metrics::run_cluster(suite, seq, checkpointed_options(false),
+                             sim::seconds(36000.0), &telemetry);
+  for (const auto& row : telemetry.registry().counters()) {
+    EXPECT_EQ(row.name.rfind("vs_ckpt_", 0), std::string::npos) << row.name;
+    EXPECT_NE(row.name, "vs_recovery_checkpoint_restored_apps_total");
+  }
+  for (const auto& row : telemetry.registry().histograms()) {
+    EXPECT_EQ(row.name.rfind("vs_ckpt_", 0), std::string::npos) << row.name;
+  }
+}
+
+// --------------------------------------------------- CheckpointTelemetry
+
+TEST(CheckpointTelemetry, SnapshotAndRestoreInstrumentsExport) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  obs::Telemetry telemetry;
+  auto result = metrics::run_cluster(suite, seq, checkpointed_options(true),
+                                     sim::seconds(36000.0), &telemetry);
+  double snapshots = 0, bytes = 0, restored = 0;
+  for (const auto& row : telemetry.registry().counters()) {
+    if (row.name == "vs_ckpt_snapshots_total") snapshots += row.cell.value();
+    if (row.name == "vs_ckpt_bytes_total") bytes += row.cell.value();
+    if (row.name == "vs_recovery_checkpoint_restored_apps_total") {
+      restored += row.cell.value();
+    }
+  }
+  EXPECT_GT(snapshots, 0.0);
+  EXPECT_GT(bytes, 0.0);
+  EXPECT_EQ(restored,
+            static_cast<double>(result.recovery.apps_checkpoint_restored));
+  const obs::Histogram* window =
+      telemetry.registry().find_histogram("vs_ckpt_rerun_window_ms", {});
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->count(),
+            static_cast<std::uint64_t>(
+                result.recovery.apps_checkpoint_restored));
+  // Every observed re-run window respects the snapshot interval bound.
+  EXPECT_LE(window->max(),
+            sim::to_ms(checkpointed_options(true).checkpoint.interval));
+}
+
+// ------------------------------------------------- CheckpointDeterminism
+
+TEST(CheckpointDeterminism, SerialParallelAndInstrumentedBitIdentical) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  cluster::ClusterOptions options = checkpointed_options(true);
+  options.faults.hazards.slot_seu_per_s = 0.3;
+  options.faults.horizon = sim::seconds(30.0);
+
+  auto serial = metrics::run_cluster(suite, seq, options);
+  ASSERT_GT(serial.response_ms.size(), 0u);
+
+  // Telemetry on/off must not perturb a checkpointed run.
+  obs::Telemetry telemetry;
+  auto instrumented = metrics::run_cluster(suite, seq, options,
+                                           sim::seconds(36000.0), &telemetry);
+  ASSERT_EQ(instrumented.response_ms.size(), serial.response_ms.size());
+  for (std::size_t i = 0; i < serial.response_ms.size(); ++i) {
+    EXPECT_EQ(instrumented.response_ms[i], serial.response_ms[i]) << i;
+  }
+  EXPECT_EQ(instrumented.recovery.apps_checkpoint_restored,
+            serial.recovery.apps_checkpoint_restored);
+  EXPECT_EQ(instrumented.recovery.mttr_total, serial.recovery.mttr_total);
+
+  // Sweep-worker count must not either: 1, 2 and 8 workers all agree.
+  for (int workers : {1, 2, 8}) {
+    metrics::SweepRunner runner(static_cast<std::size_t>(workers));
+    auto cells = runner.map<metrics::ClusterRunResult>(
+        static_cast<std::size_t>(workers) + 1, [&](std::size_t) {
+          return metrics::run_cluster(suite, seq, options);
+        });
+    for (const auto& cell : cells) {
+      ASSERT_EQ(cell.response_ms.size(), serial.response_ms.size());
+      for (std::size_t i = 0; i < serial.response_ms.size(); ++i) {
+        EXPECT_EQ(cell.response_ms[i], serial.response_ms[i])
+            << workers << " workers, app " << i;
+      }
+      EXPECT_EQ(cell.recovery.apps_checkpoint_restored,
+                serial.recovery.apps_checkpoint_restored);
+      EXPECT_EQ(cell.recovery.mttr_total, serial.recovery.mttr_total);
+    }
+  }
+}
+
+// ----------------------------------------------------- CheckpointGoldens
+
+TEST(CheckpointGoldens, Seed2025CheckpointedRecoveryClusterRun) {
+  // Frozen golden for the checkpointed-recovery configuration under the
+  // standard seed-2025 stress sequence: any change to checkpoint timing,
+  // snapshot accounting or the recovery path shows up here first.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 20;
+  auto seq = workload::generate_sequences(config, 1, 2025)[0];
+  auto result = metrics::run_cluster(suite, seq, checkpointed_options(true));
+  ASSERT_EQ(result.completed, result.submitted);
+  ASSERT_GT(result.response_ms.size(), 0u);
+  EXPECT_DOUBLE_EQ(result.response.mean, 12772.485029500001);
+  EXPECT_DOUBLE_EQ(result.response_ms.front(), 2405.7318300000002);
+  EXPECT_DOUBLE_EQ(result.response_ms.back(), 17174.148399999998);
+  EXPECT_EQ(result.recovery.apps_checkpoint_restored, 2);
+  // Integer-nanosecond MTTR sum: exact.
+  EXPECT_EQ(result.recovery.mttr_total, 72452479);
+}
+
+}  // namespace
+}  // namespace vs

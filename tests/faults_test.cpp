@@ -5,6 +5,7 @@
 // determinism of faulty runs across serial and parallel execution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "apps/benchmarks.h"
@@ -260,6 +261,50 @@ TEST(AuroraFlap, RepeatedFlapsGrowTheBackoffButNeverLoseTheTransfer) {
   EXPECT_EQ(link.aborts(), 3);
   EXPECT_EQ(link.transfers(), 1);
   EXPECT_EQ(link.bytes_moved(), bytes);
+}
+
+TEST(AuroraFlap, BackoffExponentClampsAfterSevenAttempts) {
+  // backoff_for(attempts) = retry_backoff << min(attempts - 1, 6): the
+  // schedule doubles for the first seven attempts and then plateaus at
+  // retry_backoff * 64. Drive nine consecutive flaps, each aborting the
+  // attempt mid-transfer, and check the exact restart times — including
+  // that attempts 8, 9 and 10 all wait the same clamped delay (not << 7).
+  sim::Simulator sim;
+  cluster::AuroraLink link(sim);
+  sim::SimTime done = -1;
+  const std::int64_t bytes = 1'250'000;
+  link.transfer(bytes, [&] { done = sim.now(); });
+  const sim::SimDuration tt = link.params().transfer_time(bytes);
+  const sim::SimDuration rb = link.params().retry_backoff;
+  const int kFlaps = 9;
+  std::vector<sim::SimTime> expected_restarts;
+  sim::SimTime start = 0;  // attempt k begins here
+  sim::SimTime last_up = 0;
+  for (int i = 0; i < kFlaps; ++i) {
+    sim::SimTime down = start + tt / 2;
+    sim::SimTime up = down + sim::us(50.0);
+    sim.schedule_at(down, [&link] { link.set_down(); });
+    sim.schedule_at(up, [&link] { link.set_up(); });
+    // After abort i+1 the queue head has attempts = i+1, so the retry
+    // waits rb << min(i, 6) after the link comes back.
+    start = up + (rb << std::min(i, 6));
+    expected_restarts.push_back(start);
+    last_up = up;
+  }
+  sim.run();
+  EXPECT_EQ(link.aborts(), kFlaps);
+  EXPECT_EQ(link.transfers(), 1);
+  // The tenth attempt (after nine aborts) waited exactly the plateau
+  // delay, not rb << 8: completion lands at its restart + transfer time.
+  EXPECT_EQ(done, last_up + (rb << 6) + tt);
+  // Attempts 8, 9, 10 share the clamped backoff; attempt 7 already did.
+  ASSERT_GE(expected_restarts.size(), 3u);
+  sim::SimDuration d8 =
+      expected_restarts[7] - (expected_restarts[6] + tt / 2 + sim::us(50.0));
+  sim::SimDuration d9 = done - tt - last_up;
+  EXPECT_EQ(d8, rb << 6);
+  EXPECT_EQ(d9, rb << 6);
+  EXPECT_LT(done, last_up + (rb << 7) + tt);  // never escapes the clamp
 }
 
 // ----------------------------------------------------------------- SlotSeu

@@ -1,0 +1,188 @@
+// Tests for fault injection on the single-board experiment harness
+// (metrics::run_single_board): a fig5-style cell replayed under scripted
+// crashes and SEU hazards with hold-and-readmit recovery, checkpointed
+// restore across the reboot, determinism, and byte-identity of the
+// fault-free path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "faults/scenario.h"
+#include "metrics/experiment.h"
+#include "obs/telemetry.h"
+#include "workload/generator.h"
+
+namespace vs {
+namespace {
+
+workload::Sequence fig5_sequence(std::uint64_t seed, int n_apps) {
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStandard;
+  config.apps_per_sequence = n_apps;
+  util::Rng rng(seed);
+  return workload::generate_sequence(config, rng);
+}
+
+metrics::RunOptions crashy_options() {
+  metrics::RunOptions options;
+  options.faults.seed = 808;
+  options.faults.timeline.push_back(
+      {sim::seconds(1.0), faults::FaultKind::kBoardCrash, 0, -1});
+  options.faults.hazards.slot_seu_per_s = 0.5;
+  options.faults.horizon = sim::seconds(20.0);
+  return options;
+}
+
+// ------------------------------------------------------ SingleBoardFaults
+
+TEST(SingleBoardFaults, CrashHoldsAndReadmitsEveryDisplacedApp) {
+  // A fig5-style cell (VersaSlot Big.Little, standard congestion) with a
+  // scripted crash mid-run: the harness freezes the epoch, holds displaced
+  // apps and arrivals, and re-admits everything at reboot — no app is lost
+  // and the run drains.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = fig5_sequence(17, 12);
+  auto result = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, crashy_options());
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_EQ(result.recovery.boards_crashed, 1);
+  EXPECT_EQ(result.recovery.boards_rebooted, 1);
+  EXPECT_GT(result.recovery.readmissions, 0);
+  EXPECT_EQ(result.recovery.apps_lost, 0);
+  EXPECT_EQ(result.recovery.apps_shed, 0);
+  EXPECT_EQ(result.recovery.mttr_count, 1);
+  EXPECT_GT(result.recovery.mttr_ms_mean(), 0.0);
+  EXPECT_LT(result.availability, 1.0);
+  EXPECT_GT(result.availability, 0.0);
+}
+
+TEST(SingleBoardFaults, SeuHazardsFireAndRunsStillDrain) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = fig5_sequence(29, 10);
+  metrics::RunOptions options;
+  options.faults.seed = 5;
+  options.faults.hazards.slot_seu_per_s = 4.0;
+  options.faults.horizon = sim::seconds(20.0);
+  auto result = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, options);
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_GT(result.recovery.slot_seus, 0);
+  EXPECT_EQ(result.recovery.boards_crashed, 0);
+  EXPECT_EQ(result.availability, 1.0);  // SEUs never take the board down
+}
+
+TEST(SingleBoardFaults, CheckpointedCrashRestoresSnapshotProgress) {
+  // With checkpointing on, the same crashy cell restores bundled apps from
+  // their snapshots instead of restarting them from scratch.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 14;
+  util::Rng rng(31);
+  auto seq = workload::generate_sequence(config, rng);
+  metrics::RunOptions options = crashy_options();
+  options.faults.hazards.slot_seu_per_s = 0.0;
+  options.checkpoint.enabled = true;
+  auto result = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, options);
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_EQ(result.recovery.apps_lost, 0);
+  EXPECT_GT(result.recovery.apps_checkpoint_restored, 0);
+  EXPECT_GT(result.counters.ckpt_snapshots, 0);
+  EXPECT_GT(result.counters.ckpt_bytes, 0);
+
+  // Without checkpointing the same displaced apps restart from scratch.
+  metrics::RunOptions plain = options;
+  plain.checkpoint.enabled = false;
+  auto base = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, plain);
+  EXPECT_EQ(base.recovery.apps_checkpoint_restored, 0);
+  EXPECT_EQ(base.counters.ckpt_snapshots, 0);
+  // Work the checkpointed run restored had to restart from scratch here.
+  EXPECT_GT(base.recovery.apps_restarted, 0);
+}
+
+TEST(SingleBoardFaults, FaultyRunsAreDeterministic) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = fig5_sequence(17, 12);
+  metrics::RunOptions options = crashy_options();
+  options.checkpoint.enabled = true;
+  auto a = metrics::run_single_board(metrics::SystemKind::kVersaBigLittle,
+                                     suite, seq, options);
+  auto b = metrics::run_single_board(metrics::SystemKind::kVersaBigLittle,
+                                     suite, seq, options);
+  ASSERT_EQ(a.response_ms.size(), b.response_ms.size());
+  for (std::size_t i = 0; i < a.response_ms.size(); ++i) {
+    EXPECT_EQ(a.response_ms[i], b.response_ms[i]) << i;
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.recovery.mttr_total, b.recovery.mttr_total);
+  EXPECT_EQ(a.recovery.slot_seus, b.recovery.slot_seus);
+  EXPECT_EQ(a.availability, b.availability);
+}
+
+TEST(SingleBoardFaults, FaultFreeScenarioLeavesOutputsUntouched) {
+  // A default (disabled) scenario must construct no plane and reproduce
+  // the plain harness bit-for-bit, for every system that runs in fig 5.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = fig5_sequence(17, 10);
+  for (int k = 0; k < metrics::kSystemCount; ++k) {
+    auto kind = static_cast<metrics::SystemKind>(k);
+    auto plain = metrics::run_single_board(kind, suite, seq, {});
+    metrics::RunOptions options;
+    options.faults = faults::FaultScenario{};
+    auto defaulted = metrics::run_single_board(kind, suite, seq, options);
+    ASSERT_EQ(defaulted.response_ms.size(), plain.response_ms.size());
+    for (std::size_t i = 0; i < plain.response_ms.size(); ++i) {
+      EXPECT_EQ(defaulted.response_ms[i], plain.response_ms[i])
+          << metrics::system_name(kind) << " app " << i;
+    }
+    EXPECT_EQ(defaulted.makespan, plain.makespan);
+    EXPECT_EQ(defaulted.recovery.boards_crashed, 0);
+    EXPECT_EQ(defaulted.availability, 1.0);
+  }
+}
+
+TEST(SingleBoardFaults, PcapOnlyScenarioRoutesThroughThePlane) {
+  // A scenario carrying only the PCAP CRC model exercises the plane's
+  // add_board path (stream "pcap/0"); the run completes, stays
+  // deterministic, and exports the load-failure counter when instrumented.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = fig5_sequence(17, 10);
+  metrics::RunOptions options;
+  options.faults.seed = 909;
+  options.faults.pcap_crc_probability = 0.3;
+  obs::Telemetry telemetry;
+  options.telemetry = &telemetry;
+  auto result = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, options);
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_EQ(result.recovery.boards_crashed, 0);
+  double failures = 0;
+  for (const auto& row : telemetry.registry().counters()) {
+    if (row.name == "vs_pcap_load_failures_total") {
+      failures += row.cell.value();
+    }
+  }
+  EXPECT_GT(failures, 0.0);
+
+  metrics::RunOptions uninstrumented = options;
+  uninstrumented.telemetry = nullptr;
+  auto again = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, uninstrumented);
+  ASSERT_EQ(again.response_ms.size(), result.response_ms.size());
+  for (std::size_t i = 0; i < result.response_ms.size(); ++i) {
+    EXPECT_EQ(again.response_ms[i], result.response_ms[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace vs
