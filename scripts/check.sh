@@ -51,14 +51,25 @@ grep -q 'vs_ckpt_snapshots_total' build/ckpt_smoke.prom
 grep -q 'vs_ckpt_bytes_total' build/ckpt_smoke.prom
 grep -q 'vs_recovery_checkpoint_restored_apps_total' build/ckpt_smoke.prom
 
+echo "== sharded kernel equivalence smoke (serial vs 4 workers) =="
+cmake --build build -j "$JOBS" --target ext_cluster_scale
+./build/bench/ext_cluster_scale --apps 20 --seqs 1 --jobs 1 \
+  --kernel-jobs 0 > build/kernel_serial.out
+./build/bench/ext_cluster_scale --apps 20 --seqs 1 --jobs 1 \
+  --kernel-jobs 4 > build/kernel_sharded.out
+diff build/kernel_serial.out build/kernel_sharded.out
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== ThreadSanitizer: sweep runner =="
+  echo "== ThreadSanitizer: sweep runner + sharded kernel =="
   cmake -B build-tsan -S . -DVS_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS" --target versaslot_tests
-  # halt_on_error so any reported race fails the gate loudly.
+  # halt_on_error so any reported race fails the gate loudly. The sharded
+  # suites run the cluster differential at up to 8 window workers, so every
+  # cross-shard access pattern (mailboxes, metrics cells, barrier phases)
+  # goes under the race detector.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/versaslot_tests \
-    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*'
+    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -70,7 +81,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
 fi
 
 if [[ "${SKIP_COV:-0}" != "1" ]]; then
-  echo "== coverage gate: src/faults + src/runtime =="
+  echo "== coverage gate: src/faults + src/runtime + src/sim =="
   scripts/coverage.sh
 fi
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "sim/sharded.h"
 #include "util/log.h"
 
 namespace vs::cluster {
@@ -18,6 +19,18 @@ const char* config_name(core::SwitchLoop::Config config) {
 }
 
 }  // namespace
+
+sim::SimDuration conservative_lookahead(
+    const std::vector<apps::AppSpec>& suite, const fpga::LinkParams& link) {
+  sim::SimDuration lookahead = link.setup_latency;
+  for (const apps::AppSpec& spec : suite) {
+    for (const apps::TaskSpec& task : spec.tasks) {
+      lookahead = std::min(lookahead, task.item_latency);
+    }
+  }
+  assert(lookahead > 0 && "a zero-latency task defeats conservative sync");
+  return lookahead;
+}
 
 Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
                  ClusterOptions options)
@@ -42,13 +55,32 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
     m_dswitch_value_ = obs::GaugeHandle{&reg.gauge("vs_dswitch_value")};
     m_active_apps_ = obs::GaugeHandle{&reg.gauge("vs_cluster_active_apps")};
   }
+  // Boards are built in a fixed order (OL0, BL0, OL1, BL1, ...) and board
+  // k always gets shard tag k + 1 — under the serial kernel too, so both
+  // kernels break equal-time event ties identically. Under a sharded
+  // kernel each board additionally lives on its own shard simulator.
+  if (options_.sharded != nullptr) {
+    assert(&sim == &options_.sharded->global() &&
+           "a sharded cluster must be driven by the kernel's coordinator");
+    assert(options_.sharded->shard_count() >= 2 * options_.boards_per_config &&
+           "the sharded kernel needs one shard per board");
+  }
+  auto board_sim = [&](int k) -> sim::Simulator& {
+    return options_.sharded != nullptr ? options_.sharded->shard(k) : sim_;
+  };
+  int next_board = 0;
+  auto make_board = [&](const std::string& name, fpga::FabricConfig config) {
+    int k = next_board++;
+    auto board = std::make_unique<fpga::Board>(board_sim(k), name, config,
+                                               options_.board_params);
+    board->set_shard_tag(static_cast<sim::ShardTag>(k) + 1);
+    return board;
+  };
   for (int i = 0; i < options_.boards_per_config; ++i) {
-    boards_ol_.push_back(std::make_unique<fpga::Board>(
-        sim, "fpga-OL" + std::to_string(i),
-        fpga::FabricConfig::only_little(), options_.board_params));
-    boards_bl_.push_back(std::make_unique<fpga::Board>(
-        sim, "fpga-BL" + std::to_string(i),
-        fpga::FabricConfig::big_little(), options_.board_params));
+    boards_ol_.push_back(make_board("fpga-OL" + std::to_string(i),
+                                    fpga::FabricConfig::only_little()));
+    boards_bl_.push_back(make_board("fpga-BL" + std::to_string(i),
+                                    fpga::FabricConfig::big_little()));
   }
   activate_pool(options_.initial);
 
@@ -122,6 +154,11 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
   epoch->runtime =
       std::make_unique<runtime::BoardRuntime>(*epoch->board, *epoch->policy);
   epoch->runtime->set_on_app_complete([this](const runtime::CompletedApp& c) {
+    // Cluster state is coordinator-owned: pin the chain back to tag 0 even
+    // though the completion fires inside a board-tagged item-finish event,
+    // so switch/link/recovery events the cluster schedules from here carry
+    // the coordinator tag under both kernels.
+    sim::TagScope tag_scope(sim_, 0);
     completed_.push_back(c);
     on_queue_update();
   });

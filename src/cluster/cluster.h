@@ -112,7 +112,29 @@ struct ClusterOptions {
   /// active, crashed bundled apps restore to their last snapshot instead
   /// of restarting from scratch.
   runtime::CheckpointPolicy checkpoint;
+  /// Sharded event kernel (sim/sharded.h). Null (the default) runs every
+  /// board on the single Simulator passed to the constructor. When set, the
+  /// constructor's Simulator must be `sharded->global()` and the kernel
+  /// must provide at least 2 * boards_per_config shards: board k (in
+  /// construction order OL0, BL0, OL1, BL1, ...) is built on shard k.
+  /// Shard tags are assigned in the same order under BOTH kernels, so a
+  /// serial run is the sharded run's bit-exact oracle.
+  sim::ShardedSimulator* sharded = nullptr;
+  /// Convenience knob for metrics::run_cluster: > 0 builds a sharded
+  /// kernel with this many parallel-phase workers (1 = sharded queues,
+  /// inline windows); 0 (the default) runs the serial reference kernel.
+  /// Ignored by the Cluster itself — it follows `sharded`.
+  int kernel_workers = 0;
 };
+
+/// The sharded kernel's conservative window depth for a cluster run: the
+/// minimum delay with which a board-local event can schedule a new sync
+/// event. Item-finish events (the only board-to-cluster sync site) fire at
+/// least one item latency after their launch, so the suite-wide minimum
+/// task item latency is a sound bound; the Aurora setup latency is folded
+/// in as an extra safety floor for cross-board traffic.
+[[nodiscard]] sim::SimDuration conservative_lookahead(
+    const std::vector<apps::AppSpec>& suite, const fpga::LinkParams& link);
 
 struct SwitchEvent {
   sim::SimTime time = 0;

@@ -50,8 +50,12 @@ void VersaSlotPolicy::on_pass(runtime::BoardRuntime& rt) {
   preempt_little(rt);
 }
 
-void VersaSlotPolicy::bind_metrics(obs::MetricsRegistry& registry) {
-  obs::Labels labels{{"policy", name()}};
+void VersaSlotPolicy::bind_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& board) {
+  // The board label keeps same-policy epochs on different boards in
+  // distinct cells — a hard requirement under the sharded kernel, where
+  // each board's worker updates its own counters during a window.
+  obs::Labels labels{{"policy", name()}, {"board", board}};
   m_big_bindings_ = obs::CounterHandle{
       &registry.counter("vs_policy_big_bindings_total", labels)};
   m_little_bindings_ = obs::CounterHandle{

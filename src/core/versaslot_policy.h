@@ -61,7 +61,8 @@ class VersaSlotPolicy : public runtime::SchedulerPolicy {
 
   void on_app_submitted(runtime::BoardRuntime& rt, int app_id) override;
   void on_pass(runtime::BoardRuntime& rt) override;
-  void bind_metrics(obs::MetricsRegistry& registry) override;
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& board) override;
 
   /// Binding state, exposed for tests and the ablation benches.
   enum class Binding { kWaiting, kBig, kLittle };

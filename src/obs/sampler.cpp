@@ -33,8 +33,12 @@ void Sampler::sample_now(sim::SimTime now) {
 void Sampler::tick() {
   sample_now(sim_->now());
   // Re-arm only while the simulation still has work: the queue is examined
-  // after this event was popped, so idle() here means nothing else pending.
-  if (!sim_->idle()) {
+  // after this event was popped, so no pending work here means the run is
+  // over. work_pending() (not idle()) so that under the sharded kernel a
+  // momentarily-drained coordinator queue keeps sampling while shard queues
+  // still hold events — serial and sharded runs then emit identical tick
+  // sequences.
+  if (sim_->work_pending()) {
     sim_->schedule(interval_, [this] { tick(); });
   }
 }

@@ -11,6 +11,8 @@
 // dual-core.
 #pragma once
 
+#include <string>
+
 namespace vs::obs {
 class MetricsRegistry;
 }  // namespace vs::obs
@@ -33,8 +35,12 @@ class SchedulerPolicy {
   virtual void attach(BoardRuntime&) {}
 
   /// Registers the policy's own instruments (decision counters) when the
-  /// run carries telemetry. Policies without instruments ignore it.
-  virtual void bind_metrics(obs::MetricsRegistry&) {}
+  /// run carries telemetry, labelled by the owning board so same-policy
+  /// epochs on different boards resolve distinct cells (required for the
+  /// sharded kernel, where boards update metrics from different workers).
+  /// Policies without instruments ignore it.
+  virtual void bind_metrics(obs::MetricsRegistry&,
+                            const std::string& /*board*/) {}
 
   /// Called (outside any core op) when an app is admitted, so the policy
   /// can register it in its own queues. A pass is always kicked afterwards.

@@ -1,0 +1,211 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace vs::sim {
+
+namespace {
+
+/// T + d without signed overflow near the open upper bound.
+[[nodiscard]] SimTime saturating_add(SimTime t, SimDuration d) noexcept {
+  constexpr SimTime kMax = std::numeric_limits<SimTime>::max();
+  return t > kMax - d ? kMax : t + d;
+}
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(ShardedOptions options)
+    : workers_(options.workers < 1 ? 1 : options.workers),
+      lookahead_(options.lookahead) {
+  if (options.shards < 1) {
+    throw std::invalid_argument("ShardedSimulator: shards must be >= 1");
+  }
+  if (lookahead_ <= 0) {
+    throw std::invalid_argument("ShardedSimulator: lookahead must be > 0");
+  }
+  global_.kernel_ = this;
+  shards_.reserve(static_cast<std::size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    auto sim = std::make_unique<Simulator>();
+    sim->set_default_tag(static_cast<ShardTag>(i) + 1);
+    sim->kernel_ = this;
+    shards_.push_back(std::move(sim));
+  }
+  outboxes_.resize(shards_.size() + 1);
+  post_seq_.resize(shards_.size() + 1, 0);
+  if (workers_ > 1) pool_ = std::make_unique<util::ThreadPool>(workers_);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+std::uint64_t ShardedSimulator::events_executed() const noexcept {
+  std::uint64_t n = global_.events_executed();
+  for (const auto& s : shards_) n += s->events_executed();
+  return n;
+}
+
+bool ShardedSimulator::any_work_pending() const noexcept {
+  if (global_.has_pending()) return true;
+  for (const auto& s : shards_) {
+    if (s->has_pending()) return true;
+  }
+  return false;
+}
+
+SimTime ShardedSimulator::min_next_time() const {
+  SimTime t = global_.has_pending() ? global_.next_time() : kNoEvent;
+  for (const auto& s : shards_) {
+    if (s->has_pending()) t = std::min(t, s->next_time());
+  }
+  return t;
+}
+
+SimTime ShardedSimulator::min_interaction_time() const {
+  // Any coordinator event is an interaction (the cluster manager, link,
+  // fault plane and sampler all read cross-shard state); on a shard only
+  // sync events are.
+  SimTime t = global_.has_pending() ? global_.next_time() : kNoEvent;
+  for (const auto& s : shards_) t = std::min(t, s->next_sync_time());
+  return t;
+}
+
+void ShardedSimulator::sync_clocks(SimTime t) {
+  if (t > global_.now()) global_.set_now(t);
+  for (auto& s : shards_) {
+    if (t > s->now()) s->set_now(t);
+  }
+}
+
+void ShardedSimulator::post(Simulator& from, int to_shard, SimDuration delay,
+                            EventFn fn) {
+  assert(delay >= 0 && "mailbox posts cannot travel into the past");
+  if (to_shard < 0 || to_shard >= shard_count()) {
+    throw std::out_of_range("ShardedSimulator::post: no such shard");
+  }
+  const ShardTag sender = from.default_tag();
+  assert(sender < outboxes_.size() && "post() from a foreign simulator");
+  Post p{from.now() + delay, sender, post_seq_[sender]++, to_shard,
+         std::move(fn)};
+  if (from.in_window_) {
+    if (delay < lookahead_) {
+      throw std::logic_error(
+          "sharded kernel lookahead violation: cross-shard post below the "
+          "lookahead inside a window");
+    }
+    // Thread-confined: only the worker executing this sender's window
+    // touches its outbox; the coordinator drains after the pool barrier.
+    outboxes_[sender].push_back(std::move(p));
+  } else {
+    deliver(std::move(p));
+  }
+}
+
+void ShardedSimulator::deliver(Post&& p) {
+  Simulator& target = shard(p.to_shard);
+  assert(p.deliver >= target.now() && "mailbox delivery in the target past");
+  // Outside event execution the target's current tag is its own default,
+  // so the delivered event joins the target's canonical stream.
+  target.schedule_at(p.deliver, std::move(p.fn));
+}
+
+void ShardedSimulator::flush_outboxes() {
+  std::vector<Post> merged;
+  for (auto& box : outboxes_) {
+    merged.insert(merged.end(), std::make_move_iterator(box.begin()),
+                  std::make_move_iterator(box.end()));
+    box.clear();
+  }
+  if (merged.empty()) return;
+  // (deliver time, sender tag, per-sender send seq) is a total order over
+  // posts, so the target queues see one worker-count-independent sequence.
+  std::sort(merged.begin(), merged.end(), [](const Post& a, const Post& b) {
+    if (a.deliver != b.deliver) return a.deliver < b.deliver;
+    if (a.from_tag != b.from_tag) return a.from_tag < b.from_tag;
+    return a.seq < b.seq;
+  });
+  for (auto& p : merged) deliver(std::move(p));
+}
+
+std::uint64_t ShardedSimulator::serial_phase(SimTime t) {
+  sync_clocks(t);
+  std::uint64_t n = 0;
+  // Execute every event at time t — from any queue — in canonical key
+  // order, exactly as a single serial queue would pop them. Events an
+  // execution schedules *at* t (zero-delay chains) join the scan with
+  // larger per-tag seqs, so they fire later in the same phase.
+  for (;;) {
+    Simulator* best = nullptr;
+    EventQueue::Key best_key{};
+    auto consider = [&](Simulator& s) {
+      if (!s.has_pending()) return;
+      EventQueue::Key k = s.head_key();
+      if (k.time != t) return;
+      if (best == nullptr || k < best_key) {
+        best = &s;
+        best_key = k;
+      }
+    };
+    consider(global_);
+    for (auto& s : shards_) consider(*s);
+    if (best == nullptr) break;
+    best->step();
+    ++n;
+  }
+  ++barriers_;
+  return n;
+}
+
+std::uint64_t ShardedSimulator::run(SimTime until) {
+  constexpr SimTime kMax = std::numeric_limits<SimTime>::max();
+  const SimTime bound = until == kMax ? kMax : until + 1;  // open horizon cap
+  std::uint64_t executed = 0;
+  std::vector<std::uint64_t> counts(shards_.size(), 0);
+  for (;;) {
+    const SimTime t = min_next_time();
+    if (t == kNoEvent || t > until) break;
+    const SimTime s = min_interaction_time();
+    assert(s >= t && "interaction points are a subset of pending events");
+    const SimTime h =
+        std::min({s, saturating_add(t, lookahead_), bound});
+    if (t < h) {
+      // Parallel window [t, h): every shard drains its local (non-sync)
+      // events below the horizon; no coordinator event and no sync event
+      // can fall in the window (h <= s), so shards touch disjoint state.
+      std::fill(counts.begin(), counts.end(), 0);
+      bool any = false;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Simulator* sh = shards_[i].get();
+        if (!sh->has_pending() || sh->next_time() >= h) continue;
+        any = true;
+        if (pool_) {
+          pool_->submit([sh, h, &counts, i] {
+            counts[i] = sh->run_local_until(h);
+          });
+        } else {
+          counts[i] = sh->run_local_until(h);
+        }
+      }
+      if (pool_) pool_->wait();  // barrier; rethrows lookahead violations
+      assert(any && "window chosen with no runnable shard");
+      (void)any;
+      for (std::uint64_t c : counts) executed += c;
+      flush_outboxes();
+      ++parallel_windows_;
+    } else {
+      // t == s: the earliest pending event is an interaction. Sync all
+      // clocks and run the barrier timestep serially in canonical order.
+      executed += serial_phase(t);
+    }
+  }
+  // Like Simulator::run, a bounded run advances every clock to the bound:
+  // "simulate up to this instant".
+  if (until != kMax) sync_clocks(until);
+  return executed;
+}
+
+}  // namespace vs::sim

@@ -1,0 +1,144 @@
+// Sharded event kernel: conservative time-window parallel simulation.
+//
+// A ShardedSimulator splits one logical simulation into a *coordinator*
+// Simulator (tag 0: arrivals, the Aurora link, fault-plane hazards,
+// telemetry sampler ticks, recovery timers — everything that reads or
+// writes cross-shard state) plus N *shard* Simulators (tags 1..N: one per
+// board, holding only that board's local events — core ops, DMA, PCAP,
+// item execution, checkpoint ticks). The run loop alternates two phases:
+//
+//  - Parallel window. With T the earliest pending event anywhere and S the
+//    earliest *interaction* point (the coordinator's next event, or any
+//    shard's next sync event), every shard executes its local events in
+//    [T, H) on a util::ThreadPool worker, where
+//        H = min(S, T + lookahead).
+//    The lookahead is the minimum delay with which a local event can
+//    create a new interaction (for a cluster run: the minimum item latency
+//    of the suite, floored by the Aurora setup latency); a sync event
+//    scheduled below the horizon anyway throws (lookahead violation).
+//    Shards share no mutable state — per-board runtimes, per-board metric
+//    cells, per-board RNG streams — so the phase is race-free by
+//    construction (pinned by the TSan gate in scripts/check.sh).
+//
+//  - Serial barrier. When the next pending event *is* an interaction
+//    (T == S), all clocks sync to T and every event at time T — from any
+//    queue, coordinator or shard — executes on the calling thread in the
+//    canonical (time, tag, seq) order of event_queue.h. Cross-shard
+//    mailbox posts buffered during the window are merged here, ordered by
+//    (deliver time, sender tag, send seq).
+//
+// Because each shard's queue assigns the same per-tag sequence numbers as
+// the corresponding tag of a single serial queue, and every cross-shard
+// interaction happens at a barrier in canonical order, the observable
+// execution — event order at every interaction point, therefore every
+// CSV row, metric export and RNG stream — is a pure function of the seed,
+// independent of the worker count. The serial kernel remains the default
+// and the reference oracle; tests/sharded_kernel_test.cpp holds the two
+// bit-identical. See docs/architecture.md, "Sharded event kernel".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace vs::util {
+class ThreadPool;
+}  // namespace vs::util
+
+namespace vs::sim {
+
+struct ShardedOptions {
+  /// Number of shard queues (one per board for a cluster run).
+  int shards = 1;
+  /// Worker threads for the parallel phase; <= 1 runs windows inline on
+  /// the calling thread (same schedule, no pool).
+  int workers = 1;
+  /// Conservative window depth: the minimum delay with which a shard-local
+  /// event can schedule a new sync event. Must be > 0.
+  SimDuration lookahead = ms(1.0);
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedOptions options);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  /// Coordinator simulator (tag 0). Cross-shard components — cluster
+  /// manager, Aurora link, fault plane, telemetry sampler — live here.
+  [[nodiscard]] Simulator& global() noexcept { return global_; }
+  /// Shard `i`'s simulator (tag i + 1). Board i's devices live here.
+  [[nodiscard]] Simulator& shard(int i) {
+    return *shards_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+  [[nodiscard]] SimDuration lookahead() const noexcept { return lookahead_; }
+
+  [[nodiscard]] SimTime now() const noexcept { return global_.now(); }
+  /// Events executed across the coordinator and all shards.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+  /// True while any queue (coordinator or shard) holds a pending event.
+  [[nodiscard]] bool any_work_pending() const noexcept;
+
+  /// Cross-shard mailbox: delivers `fn` into shard `to_shard`'s queue at
+  /// `from.now() + delay`. From a shard (i.e. inside a parallel window)
+  /// the delay must be >= lookahead and delivery is buffered until the
+  /// next barrier; from the coordinator (serial context) delivery is
+  /// immediate. Deliveries merge in (deliver time, sender tag, send seq)
+  /// order, so the target's event order is independent of worker count.
+  void post(Simulator& from, int to_shard, SimDuration delay, EventFn fn);
+
+  /// Runs the window loop until every queue drains or `until` is passed
+  /// (events strictly after `until` stay pending; all clocks advance to
+  /// the bound, like Simulator::run). Returns events executed this call.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Window-loop introspection (tests and benches).
+  [[nodiscard]] std::uint64_t parallel_windows() const noexcept {
+    return parallel_windows_;
+  }
+  [[nodiscard]] std::uint64_t barriers() const noexcept { return barriers_; }
+
+ private:
+  struct Post {
+    SimTime deliver = 0;
+    ShardTag from_tag = 0;
+    std::uint64_t seq = 0;  ///< per-sender send order
+    int to_shard = 0;
+    EventFn fn;
+  };
+
+  /// Earliest pending event time anywhere (kNoEvent when all drained).
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+  [[nodiscard]] SimTime min_next_time() const;
+  /// Earliest interaction point: coordinator's next event or any shard's
+  /// next sync event.
+  [[nodiscard]] SimTime min_interaction_time() const;
+  void sync_clocks(SimTime t);
+  void flush_outboxes();
+  void deliver(Post&& p);
+  std::uint64_t serial_phase(SimTime t);
+
+  Simulator global_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  int workers_ = 1;
+  SimDuration lookahead_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when workers_ <= 1
+  /// One outbox per sender (index 0 = coordinator, i + 1 = shard i): only
+  /// ever written by the thread executing that sender's events, drained at
+  /// barriers by the coordinator thread after the pool barrier.
+  std::vector<std::vector<Post>> outboxes_;
+  std::vector<std::uint64_t> post_seq_;  ///< per-sender send counters
+  std::uint64_t parallel_windows_ = 0;
+  std::uint64_t barriers_ = 0;
+};
+
+}  // namespace vs::sim

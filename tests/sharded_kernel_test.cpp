@@ -1,0 +1,666 @@
+// Differential determinism harness for the sharded event kernel.
+//
+// The serial Simulator is the reference oracle; sim::ShardedSimulator must
+// reproduce it bit-for-bit at every worker count. The suite has three
+// layers:
+//
+//  1. kernel-level tests against hand-built event graphs (canonical order,
+//     windows/barriers, mailbox merging, lookahead-violation detection);
+//  2. the cluster differential: full metrics::run_cluster under serial vs
+//     sharded kernels at 1/2/4/8 workers, across seeds x {fault-free,
+//     crash+flap+SEU, checkpointing} x telemetry on/off, asserting
+//     bitwise-equal results, metric exports and fig-style CSV rows;
+//  3. frozen seed-2025 goldens pinning the canonical order itself, so a
+//     future kernel change that shifts event ordering fails loudly here
+//     rather than silently re-baselining both sides of the differential.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "cluster/cluster.h"
+#include "metrics/experiment.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "sim/sharded.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vs {
+namespace {
+
+// ------------------------------------------------------------ kernel level
+
+TEST(ShardedKernel, RejectsDegenerateOptions) {
+  sim::ShardedOptions bad_shards;
+  bad_shards.shards = 0;
+  EXPECT_THROW(sim::ShardedSimulator{bad_shards}, std::invalid_argument);
+  sim::ShardedOptions bad_lookahead;
+  bad_lookahead.lookahead = 0;
+  EXPECT_THROW(sim::ShardedSimulator{bad_lookahead}, std::invalid_argument);
+}
+
+TEST(ShardedKernel, ShardsCarryTheirTagAndKernelBackPointer) {
+  sim::ShardedOptions options;
+  options.shards = 3;
+  sim::ShardedSimulator kernel(options);
+  EXPECT_EQ(kernel.global().default_tag(), 0u);
+  EXPECT_EQ(kernel.shard(0).default_tag(), 1u);
+  EXPECT_EQ(kernel.shard(2).default_tag(), 3u);
+  EXPECT_FALSE(kernel.any_work_pending());
+  kernel.shard(1).schedule(sim::ms(1.0), [] {});
+  // work_pending() on ANY member sim sees the shard's queue via the kernel.
+  EXPECT_TRUE(kernel.global().work_pending());
+  EXPECT_TRUE(kernel.shard(0).work_pending());
+}
+
+/// Runs the same three-source event graph on a serial simulator (with
+/// TagScope stamping) and on a sharded kernel, recording (source, step)
+/// execution order; the orders must match exactly.
+std::vector<std::string> record_reference_order() {
+  sim::Simulator sim;
+  std::vector<std::string> order;
+  auto emit = [&](const char* who, int step) {
+    order.push_back(std::string(who) + ":" + std::to_string(step));
+  };
+  // Tag 1 and 2 chains interleave at equal times; tag 0 interacts at 10ms.
+  {
+    sim::TagScope scope(sim, 1);
+    for (int i = 0; i < 4; ++i) {
+      sim.schedule(sim::ms(1.0) * (i + 1), [&emit, i] { emit("a", i); });
+    }
+  }
+  {
+    sim::TagScope scope(sim, 2);
+    for (int i = 0; i < 4; ++i) {
+      // Same timestamps as tag 1: canonical order must break the tie by tag.
+      sim.schedule(sim::ms(1.0) * (i + 1), [&emit, i] { emit("b", i); });
+    }
+  }
+  sim.schedule(sim::ms(10.0), [&emit] { emit("g", 0); });
+  sim.run();
+  return order;
+}
+
+std::vector<std::string> project(const std::vector<std::string>& order,
+                                 char who) {
+  std::vector<std::string> out;
+  for (const std::string& s : order) {
+    if (s[0] == who) out.push_back(s);
+  }
+  return out;
+}
+
+// Inside a parallel window events on different shards are causally
+// independent, so their cross-shard interleaving is unobservable; the
+// guarantee is that each shard's own execution order equals the serial
+// run's per-tag projection. Each shard records into its own vector
+// (thread-confined), so this is also race-free at every worker count.
+TEST(ShardedKernel, PerTagExecutionOrderMatchesSerialProjection) {
+  std::vector<std::string> reference = record_reference_order();
+  for (int workers : {1, 2, 4, 8}) {
+    sim::ShardedOptions options;
+    options.shards = 2;
+    options.workers = workers;
+    options.lookahead = sim::ms(100.0);
+    sim::ShardedSimulator kernel(options);
+    std::vector<std::string> order_a;
+    std::vector<std::string> order_b;
+    std::vector<std::string> order_g;
+    for (int i = 0; i < 4; ++i) {
+      kernel.shard(0).schedule(sim::ms(1.0) * (i + 1), [&order_a, i] {
+        order_a.push_back("a:" + std::to_string(i));
+      });
+      kernel.shard(1).schedule(sim::ms(1.0) * (i + 1), [&order_b, i] {
+        order_b.push_back("b:" + std::to_string(i));
+      });
+    }
+    kernel.global().schedule(sim::ms(10.0), [&order_g] {
+      order_g.push_back("g:0");
+    });
+    kernel.run();
+    EXPECT_EQ(order_a, project(reference, 'a')) << "workers=" << workers;
+    EXPECT_EQ(order_b, project(reference, 'b')) << "workers=" << workers;
+    EXPECT_EQ(order_g, project(reference, 'g')) << "workers=" << workers;
+  }
+}
+
+// At a barrier every queue head at time T executes on the calling thread in
+// canonical (time, tag, seq) order — the cross-shard interleaving IS
+// observable there and must match the serial oracle exactly. Sync events
+// force every timestamp to be a barrier.
+TEST(ShardedKernel, BarrierPhaseRunsCanonicalOrderAcrossShards) {
+  auto record = [](auto&& schedule_on) {
+    std::vector<std::string> order;
+    auto emit = [&order](const char* who, int step) {
+      order.push_back(std::string(who) + ":" + std::to_string(step));
+    };
+    schedule_on(emit);
+    return order;
+  };
+  std::vector<std::string> reference = record([](auto& emit) {
+    sim::Simulator sim;
+    for (int i = 0; i < 4; ++i) {
+      sim::TagScope scope_b(sim, 2);  // scheduled b first: seq must not
+      sim.schedule(sim::ms(1.0) * (i + 1), [&emit, i] { emit("b", i); });
+      sim::TagScope scope_a(sim, 1);  // matter across tags, only within
+      sim.schedule(sim::ms(1.0) * (i + 1), [&emit, i] { emit("a", i); });
+    }
+    sim.run();
+  });
+  std::vector<std::string> expected;
+  for (int i = 0; i < 4; ++i) {
+    expected.push_back("a:" + std::to_string(i));
+    expected.push_back("b:" + std::to_string(i));
+  }
+  EXPECT_EQ(reference, expected);  // tag 1 before tag 2 at equal times
+
+  for (int workers : {1, 4}) {
+    std::vector<std::string> sharded = record([workers](auto& emit) {
+      sim::ShardedOptions options;
+      options.shards = 2;
+      options.workers = workers;
+      options.lookahead = sim::ms(100.0);
+      sim::ShardedSimulator kernel(options);
+      for (int i = 0; i < 4; ++i) {
+        kernel.shard(1).schedule_sync(sim::ms(1.0) * (i + 1),
+                                      [&emit, i] { emit("b", i); });
+        kernel.shard(0).schedule_sync(sim::ms(1.0) * (i + 1),
+                                      [&emit, i] { emit("a", i); });
+      }
+      kernel.run();
+    });
+    EXPECT_EQ(sharded, reference) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedKernel, ParallelWindowsAndBarriersBothOccur)
+{
+  sim::ShardedOptions options;
+  options.shards = 2;
+  options.workers = 2;
+  options.lookahead = sim::ms(5.0);
+  sim::ShardedSimulator kernel(options);
+  int shard_events = 0;
+  for (int i = 0; i < 10; ++i) {
+    kernel.shard(0).schedule(sim::us(100.0) * (i + 1),
+                             [&shard_events] { ++shard_events; });
+    kernel.shard(1).schedule(sim::us(150.0) * (i + 1),
+                             [&shard_events] { ++shard_events; });
+  }
+  bool coordinator_ran = false;
+  kernel.global().schedule(sim::ms(1.0),
+                           [&coordinator_ran] { coordinator_ran = true; });
+  std::uint64_t n = kernel.run();
+  EXPECT_EQ(n, 21u);
+  EXPECT_EQ(shard_events, 20);
+  EXPECT_TRUE(coordinator_ran);
+  EXPECT_GT(kernel.parallel_windows(), 0u);
+  EXPECT_GT(kernel.barriers(), 0u);
+  EXPECT_EQ(kernel.events_executed(), 21u);
+  EXPECT_FALSE(kernel.any_work_pending());
+}
+
+TEST(ShardedKernel, BoundedRunAdvancesAllClocksToTheBound) {
+  sim::ShardedOptions options;
+  options.shards = 2;
+  sim::ShardedSimulator kernel(options);
+  kernel.shard(0).schedule(sim::ms(1.0), [] {});
+  kernel.shard(1).schedule(sim::ms(30.0), [] {});  // past the bound
+  kernel.run(sim::ms(20.0));
+  EXPECT_EQ(kernel.now(), sim::ms(20.0));
+  EXPECT_EQ(kernel.global().now(), sim::ms(20.0));
+  EXPECT_EQ(kernel.shard(0).now(), sim::ms(20.0));
+  EXPECT_EQ(kernel.shard(1).now(), sim::ms(20.0));
+  EXPECT_TRUE(kernel.any_work_pending());  // the 30ms event is still due
+  kernel.run();
+  EXPECT_FALSE(kernel.any_work_pending());
+}
+
+TEST(ShardedKernel, SyncEventsDeferToBarriers) {
+  // A shard-local chain dense enough to fill windows, plus sync events:
+  // sync events must never execute inside a window (they see only barrier
+  // timestamps, where every clock agrees).
+  sim::ShardedOptions options;
+  options.shards = 2;
+  options.workers = 2;
+  options.lookahead = sim::ms(2.0);
+  sim::ShardedSimulator kernel(options);
+  std::vector<sim::SimTime> sync_times;
+  for (int i = 0; i < 20; ++i) {
+    kernel.shard(0).schedule(sim::us(50.0) * (i + 1), [] {});
+  }
+  sim::Simulator& s1 = kernel.shard(1);
+  s1.schedule_sync(sim::ms(3.0), [&] {
+    sync_times.push_back(s1.now());
+    // At a barrier every clock has been synced to the sync event's time.
+    EXPECT_EQ(kernel.global().now(), s1.now());
+    EXPECT_EQ(kernel.shard(0).now(), s1.now());
+  });
+  kernel.run();
+  ASSERT_EQ(sync_times.size(), 1u);
+  EXPECT_EQ(sync_times[0], sim::ms(3.0));
+}
+
+TEST(ShardedKernel, LookaheadViolationThrowsUnderEveryWorkerCount) {
+  for (int workers : {1, 2}) {
+    sim::ShardedOptions options;
+    options.shards = 1;
+    options.workers = workers;
+    options.lookahead = sim::ms(10.0);
+    sim::ShardedSimulator kernel(options);
+    sim::Simulator& shard = kernel.shard(0);
+    // The window [1ms, 11ms) opens; the event schedules a sync below the
+    // horizon — a conservative-window violation (the configured lookahead
+    // overstated the true minimum sync delay).
+    shard.schedule(sim::ms(1.0), [&shard] {
+      shard.schedule_sync(sim::ms(1.0), [] {});
+    });
+    EXPECT_THROW(kernel.run(), std::logic_error) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedKernel, MailboxMergesPostsInSenderOrder) {
+  auto run = [](int workers) {
+    sim::ShardedOptions options;
+    options.shards = 3;
+    options.workers = workers;
+    options.lookahead = sim::ms(1.0);
+    sim::ShardedSimulator kernel(options);
+    std::vector<int> received;
+    // Shards 1 and 2 each post to shard 0 from inside a window, with
+    // deliveries landing at the same timestamp; the merge must order them
+    // (deliver time, sender tag, send seq) regardless of worker count.
+    for (int sender : {1, 2}) {
+      sim::Simulator& s = kernel.shard(sender);
+      s.schedule(sim::ms(0.5), [&kernel, &s, &received, sender] {
+        for (int k = 0; k < 3; ++k) {
+          kernel.post(s, 0, sim::ms(2.0), [&received, sender, k] {
+            received.push_back(sender * 10 + k);
+          });
+        }
+      });
+    }
+    kernel.run();
+    return received;
+  };
+  std::vector<int> expected{10, 11, 12, 20, 21, 22};
+  for (int workers : {1, 2, 4}) {
+    EXPECT_EQ(run(workers), expected) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedKernel, MailboxPostBelowLookaheadThrowsInsideWindow) {
+  sim::ShardedOptions options;
+  options.shards = 2;
+  options.lookahead = sim::ms(5.0);
+  sim::ShardedSimulator kernel(options);
+  sim::Simulator& s = kernel.shard(0);
+  s.schedule(sim::ms(1.0), [&kernel, &s] {
+    kernel.post(s, 1, sim::ms(1.0), [] {});  // below the 5ms lookahead
+  });
+  EXPECT_THROW(kernel.run(), std::logic_error);
+}
+
+TEST(ShardedKernel, CoordinatorPostsDeliverImmediately) {
+  sim::ShardedOptions options;
+  options.shards = 1;
+  sim::ShardedSimulator kernel(options);
+  bool delivered = false;
+  // From serial (coordinator) context even a zero-delay post is legal.
+  kernel.post(kernel.global(), 0, 0, [&delivered] { delivered = true; });
+  kernel.run();
+  EXPECT_TRUE(delivered);
+}
+
+// ------------------------------------------------------ cluster differential
+
+enum class Scenario { kFaultFree, kFaulted, kCheckpointed };
+
+// Frozen seed-2025 golden values (see ShardedGolden below). Captured from
+// the serial reference kernel; both kernels must keep reproducing them.
+constexpr std::uint64_t kGoldenEvents = 6485;
+constexpr sim::SimTime kGoldenFirstCompleted = 4098471994;
+constexpr sim::SimTime kGoldenLastCompleted = 12807039199;
+constexpr double kGoldenMeanResponse = 6184.2995846799995;
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kFaultFree: return "fault-free";
+    case Scenario::kFaulted: return "faulted";
+    case Scenario::kCheckpointed: return "checkpointed";
+  }
+  return "?";
+}
+
+cluster::ClusterOptions scenario_options(Scenario scenario,
+                                         std::uint64_t seed) {
+  cluster::ClusterOptions options;
+  if (scenario == Scenario::kFaultFree) return options;
+  // Crash + link flap + SEU: a scripted backbone (so every seed exercises
+  // all recovery paths) plus low-rate hazards seeded per run.
+  options.faults.seed = 404 + seed;
+  options.faults.timeline.push_back(
+      {sim::seconds(2.0), faults::FaultKind::kBoardCrash, 0, -1});
+  options.faults.timeline.push_back(
+      {sim::seconds(2.5), faults::FaultKind::kLinkDown, -1, -1});
+  options.faults.timeline.push_back(
+      {sim::seconds(1.0), faults::FaultKind::kSlotSeu, 1, -1});
+  options.faults.hazards.slot_seu_per_s = 0.05;
+  options.faults.horizon = sim::seconds(30.0);
+  if (scenario == Scenario::kCheckpointed) {
+    options.checkpoint.enabled = true;
+    options.checkpoint.interval = sim::ms(250.0);
+  }
+  return options;
+}
+
+struct ClusterOutput {
+  metrics::ClusterRunResult result;
+  std::string prometheus;  ///< final metric exposition (telemetry runs)
+  std::string jsonl;       ///< sampler time series (telemetry runs)
+  std::string csv;         ///< fig-style rows derived from the result
+};
+
+/// Fig-style CSV: the rows the bench/fig tooling derives from a cluster
+/// run. Any reordering or value drift between kernels shows up here as a
+/// plain string mismatch.
+std::string fig_csv(const metrics::ClusterRunResult& r) {
+  std::ostringstream out;
+  out << "app,spec,arrival_ns,completed_ns,response_ms\n";
+  for (const runtime::CompletedApp& c : r.apps) {
+    out << c.app_id << ',' << c.name << ',' << c.arrival << ','
+        << c.completed << ',' << c.response_ms() << '\n';
+  }
+  out << "switch,to,time_ns,dswitch,apps,bytes,overhead_ns\n";
+  for (const cluster::SwitchEvent& s : r.switches) {
+    out << "switch," << static_cast<int>(s.to) << ',' << s.time << ','
+        << s.dswitch << ',' << s.apps_migrated << ',' << s.bytes << ','
+        << s.overhead << '\n';
+  }
+  for (const core::DSwitchSample& d : r.dswitch_trace) {
+    out << "dswitch," << d.time << ',' << d.value << ',' << d.blocked << ','
+        << d.prs << ',' << d.apps << ',' << d.batch << '\n';
+  }
+  return out.str();
+}
+
+ClusterOutput run_cluster_once(std::uint64_t seed, Scenario scenario,
+                               bool telemetry, int kernel_workers) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 25;
+  util::Rng rng(seed);
+  workload::Sequence sequence = workload::generate_sequence(config, rng);
+
+  cluster::ClusterOptions options = scenario_options(scenario, seed);
+  options.kernel_workers = kernel_workers;
+
+  ClusterOutput out;
+  if (telemetry) {
+    obs::Telemetry t;
+    out.result = metrics::run_cluster(suite, sequence, options,
+                                      sim::seconds(36000.0), &t);
+    out.prometheus = obs::prometheus_text(t.registry());
+    out.jsonl = obs::timeseries_jsonl(t.sampler(), t.registry());
+  } else {
+    out.result = metrics::run_cluster(suite, sequence, options);
+  }
+  out.csv = fig_csv(out.result);
+  return out;
+}
+
+void expect_identical(const ClusterOutput& serial, const ClusterOutput& sharded,
+                      const std::string& label) {
+  const metrics::ClusterRunResult& a = serial.result;
+  const metrics::ClusterRunResult& b = sharded.result;
+  EXPECT_EQ(a.submitted, b.submitted) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.events, b.events) << label;
+  ASSERT_EQ(a.apps.size(), b.apps.size()) << label;
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].app_id, b.apps[i].app_id) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].spec_index, b.apps[i].spec_index)
+        << label << " app " << i;
+    EXPECT_EQ(a.apps[i].name, b.apps[i].name) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].arrival, b.apps[i].arrival) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].completed, b.apps[i].completed)
+        << label << " app " << i;
+  }
+  ASSERT_EQ(a.response_ms.size(), b.response_ms.size()) << label;
+  for (std::size_t i = 0; i < a.response_ms.size(); ++i) {
+    EXPECT_EQ(a.response_ms[i], b.response_ms[i]) << label << " resp " << i;
+  }
+  EXPECT_EQ(a.response.count, b.response.count) << label;
+  EXPECT_EQ(a.response.mean, b.response.mean) << label;
+  EXPECT_EQ(a.response.p50, b.response.p50) << label;
+  EXPECT_EQ(a.response.p95, b.response.p95) << label;
+  EXPECT_EQ(a.response.p99, b.response.p99) << label;
+  EXPECT_EQ(a.response.min, b.response.min) << label;
+  EXPECT_EQ(a.response.max, b.response.max) << label;
+  ASSERT_EQ(a.dswitch_trace.size(), b.dswitch_trace.size()) << label;
+  for (std::size_t i = 0; i < a.dswitch_trace.size(); ++i) {
+    EXPECT_EQ(a.dswitch_trace[i].time, b.dswitch_trace[i].time) << label;
+    EXPECT_EQ(a.dswitch_trace[i].value, b.dswitch_trace[i].value) << label;
+    EXPECT_EQ(a.dswitch_trace[i].blocked, b.dswitch_trace[i].blocked)
+        << label;
+    EXPECT_EQ(a.dswitch_trace[i].prs, b.dswitch_trace[i].prs) << label;
+    EXPECT_EQ(a.dswitch_trace[i].apps, b.dswitch_trace[i].apps) << label;
+    EXPECT_EQ(a.dswitch_trace[i].batch, b.dswitch_trace[i].batch) << label;
+  }
+  ASSERT_EQ(a.switches.size(), b.switches.size()) << label;
+  for (std::size_t i = 0; i < a.switches.size(); ++i) {
+    EXPECT_EQ(a.switches[i].time, b.switches[i].time) << label;
+    EXPECT_EQ(a.switches[i].to, b.switches[i].to) << label;
+    EXPECT_EQ(a.switches[i].dswitch, b.switches[i].dswitch) << label;
+    EXPECT_EQ(a.switches[i].apps_migrated, b.switches[i].apps_migrated)
+        << label;
+    EXPECT_EQ(a.switches[i].bytes, b.switches[i].bytes) << label;
+    EXPECT_EQ(a.switches[i].overhead, b.switches[i].overhead) << label;
+  }
+  EXPECT_EQ(a.recovery.boards_crashed, b.recovery.boards_crashed) << label;
+  EXPECT_EQ(a.recovery.boards_rebooted, b.recovery.boards_rebooted) << label;
+  EXPECT_EQ(a.recovery.link_flaps, b.recovery.link_flaps) << label;
+  EXPECT_EQ(a.recovery.slot_seus, b.recovery.slot_seus) << label;
+  EXPECT_EQ(a.recovery.apps_evacuated, b.recovery.apps_evacuated) << label;
+  EXPECT_EQ(a.recovery.apps_checkpoint_restored,
+            b.recovery.apps_checkpoint_restored)
+      << label;
+  EXPECT_EQ(a.recovery.apps_restarted, b.recovery.apps_restarted) << label;
+  EXPECT_EQ(a.recovery.apps_lost, b.recovery.apps_lost) << label;
+  EXPECT_EQ(a.recovery.apps_shed, b.recovery.apps_shed) << label;
+  EXPECT_EQ(a.recovery.readmissions, b.recovery.readmissions) << label;
+  EXPECT_EQ(a.recovery.mttr_total, b.recovery.mttr_total) << label;
+  EXPECT_EQ(a.recovery.mttr_count, b.recovery.mttr_count) << label;
+  EXPECT_EQ(a.availability, b.availability) << label;
+  EXPECT_EQ(serial.csv, sharded.csv) << label;
+  EXPECT_EQ(serial.prometheus, sharded.prometheus) << label;
+  EXPECT_EQ(serial.jsonl, sharded.jsonl) << label;
+}
+
+struct DifferentialCase {
+  std::uint64_t seed;
+  Scenario scenario;
+  bool telemetry;
+};
+
+std::string case_label(const DifferentialCase& c) {
+  std::ostringstream out;
+  out << "seed=" << c.seed << " scenario=" << scenario_name(c.scenario)
+      << " telemetry=" << (c.telemetry ? "on" : "off");
+  return out.str();
+}
+
+class ShardedDifferential : public ::testing::TestWithParam<DifferentialCase> {
+};
+
+TEST_P(ShardedDifferential, BitIdenticalToSerialAtEveryWorkerCount) {
+  const DifferentialCase& c = GetParam();
+  ClusterOutput serial = run_cluster_once(c.seed, c.scenario, c.telemetry, 0);
+  EXPECT_GT(serial.result.completed, 0) << case_label(c);
+  EXPECT_GT(serial.result.events, 0u) << case_label(c);
+  for (int workers : {1, 2, 4, 8}) {
+    ClusterOutput sharded =
+        run_cluster_once(c.seed, c.scenario, c.telemetry, workers);
+    expect_identical(serial, sharded,
+                     case_label(c) + " workers=" + std::to_string(workers));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ShardedDifferential,
+    ::testing::Values(
+        DifferentialCase{1, Scenario::kFaultFree, false},
+        DifferentialCase{2, Scenario::kFaultFree, false},
+        DifferentialCase{3, Scenario::kFaultFree, true},
+        DifferentialCase{1, Scenario::kFaulted, false},
+        DifferentialCase{2, Scenario::kFaulted, true},
+        DifferentialCase{3, Scenario::kFaulted, false},
+        DifferentialCase{1, Scenario::kCheckpointed, true},
+        DifferentialCase{2, Scenario::kCheckpointed, false},
+        DifferentialCase{3, Scenario::kCheckpointed, false}));
+
+TEST(ShardedDifferentialScale, FourBoardsPerConfigMatchSerial) {
+  // Wider cluster: 8 boards -> 8 shards, switching on, telemetry on.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 40;
+  util::Rng rng(7);
+  workload::Sequence sequence = workload::generate_sequence(config, rng);
+
+  auto run = [&](int kernel_workers) {
+    cluster::ClusterOptions options;
+    options.boards_per_config = 4;
+    options.kernel_workers = kernel_workers;
+    obs::Telemetry t;
+    auto result = metrics::run_cluster(suite, sequence, options,
+                                       sim::seconds(36000.0), &t);
+    return std::make_pair(result, obs::prometheus_text(t.registry()));
+  };
+  auto [serial, serial_prom] = run(0);
+  auto [sharded, sharded_prom] = run(4);
+  EXPECT_EQ(serial.completed, sharded.completed);
+  EXPECT_EQ(serial.events, sharded.events);
+  ASSERT_EQ(serial.response_ms.size(), sharded.response_ms.size());
+  for (std::size_t i = 0; i < serial.response_ms.size(); ++i) {
+    EXPECT_EQ(serial.response_ms[i], sharded.response_ms[i]) << i;
+  }
+  EXPECT_EQ(serial_prom, sharded_prom);
+}
+
+// Single-board runs take the kernel through RunOptions::kernel_workers:
+// the board is the lone shard, arrivals and the fault plane drive it from
+// the coordinator. Every RunResult field must survive the kernel swap.
+TEST(ShardedDifferentialSingleBoard, RunSingleBoardMatchesSerial) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = 20;
+  util::Rng rng(11);
+  workload::Sequence sequence = workload::generate_sequence(config, rng);
+
+  for (metrics::SystemKind kind :
+       {metrics::SystemKind::kVersaBigLittle, metrics::SystemKind::kNimblock}) {
+    metrics::RunOptions options;
+    options.faults.seed = 99;
+    options.faults.timeline.push_back(
+        {sim::seconds(1.5), faults::FaultKind::kBoardCrash, 0, -1});
+    options.faults.hazards.slot_seu_per_s = 0.05;
+    options.faults.horizon = sim::seconds(20.0);
+    options.checkpoint.enabled = true;
+    options.checkpoint.interval = sim::ms(100.0);
+
+    options.kernel_workers = 0;
+    metrics::RunResult serial =
+        metrics::run_single_board(kind, suite, sequence, options);
+    EXPECT_GT(serial.completed, 0);
+    for (int workers : {1, 4}) {
+      options.kernel_workers = workers;
+      metrics::RunResult sharded =
+          metrics::run_single_board(kind, suite, sequence, options);
+      std::string label = std::string(serial.system) +
+                          " workers=" + std::to_string(workers);
+      EXPECT_EQ(serial.completed, sharded.completed) << label;
+      EXPECT_EQ(serial.makespan, sharded.makespan) << label;
+      ASSERT_EQ(serial.response_ms.size(), sharded.response_ms.size())
+          << label;
+      for (std::size_t i = 0; i < serial.response_ms.size(); ++i) {
+        EXPECT_EQ(serial.response_ms[i], sharded.response_ms[i])
+            << label << " resp " << i;
+      }
+      for (std::size_t i = 0; i < serial.apps.size(); ++i) {
+        EXPECT_EQ(serial.apps[i].app_id, sharded.apps[i].app_id) << label;
+        EXPECT_EQ(serial.apps[i].completed, sharded.apps[i].completed)
+            << label;
+      }
+      EXPECT_EQ(serial.counters.pr_requests, sharded.counters.pr_requests)
+          << label;
+      EXPECT_EQ(serial.counters.items_executed,
+                sharded.counters.items_executed)
+          << label;
+      EXPECT_EQ(serial.counters.preemptions, sharded.counters.preemptions)
+          << label;
+      EXPECT_EQ(serial.counters.passes, sharded.counters.passes) << label;
+      EXPECT_EQ(serial.counters.ckpt_snapshots,
+                sharded.counters.ckpt_snapshots)
+          << label;
+      EXPECT_EQ(serial.counters.ckpt_bytes, sharded.counters.ckpt_bytes)
+          << label;
+      EXPECT_EQ(serial.utilization.lut_used, sharded.utilization.lut_used)
+          << label;
+      EXPECT_EQ(serial.recovery.boards_crashed,
+                sharded.recovery.boards_crashed)
+          << label;
+      EXPECT_EQ(serial.recovery.apps_checkpoint_restored,
+                sharded.recovery.apps_checkpoint_restored)
+          << label;
+      EXPECT_EQ(serial.recovery.readmissions, sharded.recovery.readmissions)
+          << label;
+      EXPECT_EQ(serial.availability, sharded.availability) << label;
+    }
+  }
+}
+
+// ------------------------------------------------------- frozen goldens
+
+// Seed-2025 golden pins for the canonical order (captured from the serial
+// kernel when the (time, tag, seq) order was introduced). These freeze the
+// *reference* side of the differential: if a kernel change reorders events,
+// this fails even though serial and sharded would still agree with each
+// other.
+TEST(ShardedGolden, Seed2025FaultFreeRunIsFrozen) {
+  ClusterOutput out = run_cluster_once(2025, Scenario::kFaultFree, false, 0);
+  std::ostringstream capture;
+  capture.precision(17);
+  capture << "events=" << out.result.events
+          << " first=" << out.result.apps.front().completed
+          << " last=" << out.result.apps.back().completed
+          << " mean=" << out.result.response.mean;
+  SCOPED_TRACE(capture.str());
+  EXPECT_EQ(out.result.submitted, 25);
+  EXPECT_EQ(out.result.completed, 25);
+  // Golden values below are frozen; update them ONLY for an intentional,
+  // documented change to the canonical event order.
+  EXPECT_EQ(out.result.events, kGoldenEvents);
+  EXPECT_EQ(out.result.apps.front().completed, kGoldenFirstCompleted);
+  EXPECT_EQ(out.result.apps.back().completed, kGoldenLastCompleted);
+  EXPECT_EQ(out.result.response.mean, kGoldenMeanResponse);
+
+  ClusterOutput sharded = run_cluster_once(2025, Scenario::kFaultFree, false, 4);
+  EXPECT_EQ(sharded.result.events, kGoldenEvents);
+  EXPECT_EQ(sharded.result.apps.back().completed, kGoldenLastCompleted);
+  EXPECT_EQ(sharded.result.response.mean, kGoldenMeanResponse);
+}
+
+}  // namespace
+}  // namespace vs
