@@ -16,6 +16,7 @@
 // by a relieved phase (standard intervals), reproducing the same
 // congestion-then-relief trajectory the paper's figure shows.
 #include <iostream>
+#include <vector>
 
 #include "apps/benchmarks.h"
 #include "metrics/experiment.h"
@@ -36,6 +37,10 @@ int main(int argc, char** argv) {
   // Aurora migrations the figure is about.
   const std::string metrics_out = obs::resolve_metrics_out(&args);
   obs::Telemetry telemetry;
+  // Round cap for the pre-copy comparison runs (--precopy-rounds N or
+  // VS_PRECOPY_ROUNDS); the committed figure series never read it.
+  const int precopy_rounds = static_cast<int>(
+      util::resolve_int(&args, "precopy-rounds", "VS_PRECOPY_ROUNDS", 4));
 
   fpga::BoardParams params;
   auto suite = apps::make_suite(params);
@@ -53,10 +58,17 @@ int main(int argc, char** argv) {
   summary_csv.header({"workload", "mean_with_switching_ms",
                       "mean_only_little_ms", "improvement", "switches",
                       "avg_overhead_ms"});
+  // Downtime breakdown (whole-state vs iterative pre-copy), one row per
+  // switch event. Filled by the comparison pass after the figure runs.
+  util::CsvWriter downtime_csv("fig8_downtime.csv");
+  downtime_csv.header({"workload", "mode", "switch", "rounds",
+                       "precopy_bytes", "stopcopy_bytes", "total_bytes",
+                       "downtime_ms", "overhead_ms"});
 
   double total_overhead_ms = 0;
   int total_switches = 0;
   double best_improvement = 0;
+  std::vector<std::vector<cluster::SwitchEvent>> whole_events;
 
   for (int w = 0; w < 3; ++w) {
     workload::Sequence seq = workload::fig8_long_workload(3000 + w);
@@ -96,6 +108,7 @@ int main(int argc, char** argv) {
     best_improvement = std::max(best_improvement, improvement);
     total_overhead_ms += overhead_ms;
     total_switches += static_cast<int>(with_sw.switches.size());
+    whole_events.push_back(with_sw.switches);
 
     std::cout << "-- workload " << w + 1 << " (seed " << 3000 + w
               << ") --\n";
@@ -142,9 +155,64 @@ int main(int argc, char** argv) {
             << util::fmt(total_switches ? total_overhead_ms / total_switches
                                         : 0,
                          2)
-            << " ms over " << total_switches << " switches\n"
+            << " ms over " << total_switches << " switches\n\n";
+
+  // Pre-copy comparison (beyond the paper's figure): re-run each workload
+  // with iterative pre-copy migration enabled and put its stop-and-copy
+  // downtime next to the whole-state switches above. Runs after — and
+  // independently of — the figure series, which stay byte-identical.
+  std::cout << "-- pre-copy live migration (round cap " << precopy_rounds
+            << ") --\n";
+  auto downtime_row = [&](int w, const char* mode, int index,
+                          const cluster::SwitchEvent& e) {
+    downtime_csv.begin_row();
+    downtime_csv.field(static_cast<long long>(w));
+    downtime_csv.field(std::string(mode));
+    downtime_csv.field(static_cast<long long>(index));
+    downtime_csv.field(static_cast<long long>(e.precopy_rounds));
+    downtime_csv.field(e.precopy_bytes);
+    downtime_csv.field(e.stopcopy_bytes);
+    downtime_csv.field(e.bytes);
+    downtime_csv.field(sim::to_ms(e.downtime));
+    downtime_csv.field(sim::to_ms(e.overhead));
+    downtime_csv.end_row();
+  };
+  double whole_down_ms = 0, pre_down_ms = 0;
+  int whole_n = 0, pre_n = 0, pre_rounds_total = 0;
+  for (int w = 0; w < 3; ++w) {
+    workload::Sequence seq = workload::fig8_long_workload(3000 + w);
+    cluster::ClusterOptions pre = options;
+    pre.migration.precopy = true;
+    pre.migration.max_rounds = precopy_rounds;
+    metrics::ClusterRunResult r = metrics::run_cluster(suite, seq, pre);
+    int index = 0;
+    for (const cluster::SwitchEvent& e : whole_events[static_cast<std::size_t>(
+             w)]) {
+      downtime_row(w, "whole", index++, e);
+      whole_down_ms += sim::to_ms(e.downtime);
+      ++whole_n;
+    }
+    index = 0;
+    for (const cluster::SwitchEvent& e : r.switches) {
+      downtime_row(w, "precopy", index++, e);
+      pre_down_ms += sim::to_ms(e.downtime);
+      pre_rounds_total += e.precopy_rounds;
+      ++pre_n;
+    }
+    std::cout << "  workload " << w + 1 << ": " << r.switches.size()
+              << " pre-copy switches, mean response "
+              << util::fmt(r.response.mean, 1) << " ms\n";
+  }
+  std::cout << "  avg stop-and-copy downtime: whole-state "
+            << util::fmt(whole_n ? whole_down_ms / whole_n : 0, 3)
+            << " ms -> pre-copy "
+            << util::fmt(pre_n ? pre_down_ms / pre_n : 0, 3) << " ms ("
+            << util::fmt(pre_n ? static_cast<double>(pre_rounds_total) / pre_n
+                                : 0,
+                         1)
+            << " rounds streamed per switch while origins kept executing)\n"
             << "\nSeries written to fig8_dswitch_trace.csv / "
-               "fig8_summary.csv\n";
+               "fig8_summary.csv / fig8_downtime.csv\n";
 
   if (!metrics_out.empty()) {
     telemetry.info().config.emplace_back("figure", "fig8");

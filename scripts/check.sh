@@ -51,6 +51,17 @@ grep -q 'vs_ckpt_snapshots_total' build/ckpt_smoke.prom
 grep -q 'vs_ckpt_bytes_total' build/ckpt_smoke.prom
 grep -q 'vs_recovery_checkpoint_restored_apps_total' build/ckpt_smoke.prom
 
+echo "== delta checkpoint + pre-copy smoke (dirty/round metrics in exports) =="
+# The telemetry replay runs the full PR 7 configuration (dirty-delta
+# checkpoints + iterative pre-copy), so its export must carry the
+# delta-only and migration instruments.
+grep -q 'vs_ckpt_deltas_total' build/ckpt_smoke.prom
+grep -q 'vs_ckpt_dirty_bytes_total' build/ckpt_smoke.prom
+grep -q 'reason="clean"' build/ckpt_smoke.prom
+grep -q 'reason="empty"' build/ckpt_smoke.prom
+grep -q 'vs_migration_rounds_total' build/ckpt_smoke.prom
+grep -q 'vs_migration_downtime_ms' build/ckpt_smoke.prom
+
 echo "== sharded kernel equivalence smoke (serial vs 4 workers) =="
 cmake --build build -j "$JOBS" --target ext_cluster_scale
 ./build/bench/ext_cluster_scale --apps 20 --seqs 1 --jobs 1 \
@@ -69,7 +80,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # goes under the race detector.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/versaslot_tests \
-    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*'
+    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -77,11 +88,11 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*'
 fi
 
 if [[ "${SKIP_COV:-0}" != "1" ]]; then
-  echo "== coverage gate: src/faults + src/runtime + src/sim =="
+  echo "== coverage gate: src/cluster + src/faults + src/runtime + src/sim =="
   scripts/coverage.sh
 fi
 

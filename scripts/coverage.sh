@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the fault, runtime and simulation-kernel layers.
-# Builds the VS_COVERAGE preset, runs the full test suite, then measures
-# line coverage of src/faults/, src/runtime/ and src/sim/ and fails below
-# the threshold.
+# Line-coverage gate for the cluster, fault, runtime and simulation-kernel
+# layers. Builds the VS_COVERAGE preset, runs the full test suite, then
+# measures line coverage of src/cluster/, src/faults/, src/runtime/ and
+# src/sim/ and fails below the threshold.
 #
 #   scripts/coverage.sh                 # build, test, report, gate (>= 85%)
 #   VS_COV_MIN=80 scripts/coverage.sh   # custom threshold
@@ -22,14 +22,16 @@ cmake --build "$BUILD" -j "$JOBS" --target versaslot_tests
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 if command -v gcovr >/dev/null 2>&1; then
-  echo "== gcovr: src/faults + src/runtime + src/sim =="
-  gcovr --root . --filter 'src/faults/' --filter 'src/runtime/' \
-    --filter 'src/sim/' --fail-under-line "$MIN" "$BUILD"
+  echo "== gcovr: src/cluster + src/faults + src/runtime + src/sim =="
+  gcovr --root . --filter 'src/cluster/' --filter 'src/faults/' \
+    --filter 'src/runtime/' --filter 'src/sim/' \
+    --fail-under-line "$MIN" "$BUILD"
 else
-  echo "== gcov fallback: src/faults + src/runtime + src/sim =="
+  echo "== gcov fallback: src/cluster + src/faults + src/runtime + src/sim =="
   total_lines=0
   covered_lines=0
-  for src in src/faults/*.cpp src/runtime/*.cpp src/sim/*.cpp; do
+  for src in src/cluster/*.cpp src/faults/*.cpp src/runtime/*.cpp \
+             src/sim/*.cpp; do
     obj_dir=$(dirname "$BUILD/src/CMakeFiles/versaslot_core.dir/${src#src/}")
     gcno=$(find "$BUILD/src" -name "$(basename "$src").gcno" | head -n 1)
     if [[ -z "$gcno" ]]; then

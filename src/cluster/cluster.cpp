@@ -54,6 +54,16 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
         obs::CounterHandle{&reg.counter("vs_cluster_migrated_apps_total")};
     m_dswitch_value_ = obs::GaugeHandle{&reg.gauge("vs_dswitch_value")};
     m_active_apps_ = obs::GaugeHandle{&reg.gauge("vs_cluster_active_apps")};
+    if (options_.migration.active()) {
+      // Registered only when pre-copy is on, so whole-state exports stay
+      // byte-identical.
+      m_migration_rounds_ =
+          obs::CounterHandle{&reg.counter("vs_migration_rounds_total")};
+      m_precopy_bytes_ = obs::CounterHandle{
+          &reg.counter("vs_migration_precopy_bytes_total")};
+      m_migration_downtime_ms_ = obs::HistogramHandle{&reg.histogram(
+          "vs_migration_downtime_ms", obs::default_ms_bounds())};
+    }
   }
   // Boards are built in a fixed order (OL0, BL0, OL1, BL1, ...) and board
   // k always gets shard tag k + 1 — under the serial kernel too, so both
@@ -163,6 +173,11 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
     on_queue_update();
   });
   epoch->runtime->enable_checkpoints(options_.checkpoint);
+  if (options_.migration.active()) {
+    // Pre-copy rounds drain the migration plane of each app's dirty map;
+    // the region geometry is shared with delta checkpointing.
+    epoch->runtime->enable_dirty_tracking(options_.checkpoint.granularity);
+  }
   // Idempotent registration: a board reused across epochs resolves the same
   // cells, so its counters accumulate over the whole cluster run.
   if (options_.metrics != nullptr) {
@@ -350,6 +365,18 @@ void Cluster::prewarm(core::SwitchLoop::Config config) {
 }
 
 void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
+  if (precopy_active_) {
+    // The previous migration is still streaming; its origins cannot start
+    // a second extraction. Revert the loop state so a later sample can
+    // retrigger (same treatment as a draining spare pool).
+    loop_ = core::SwitchLoop(options_.t1, options_.t2,
+                             target == core::SwitchLoop::Config::kBigLittle
+                                 ? core::SwitchLoop::Config::kOnlyLittle
+                                 : core::SwitchLoop::Config::kBigLittle);
+    VS_WARN << "switch to " << config_name(target)
+            << " deferred: pre-copy migration in flight";
+    return;
+  }
   if (fault_plane_ != nullptr) {
     for (fpga::Board* board : boards_for(target)) {
       if (board_usable(board)) continue;
@@ -382,6 +409,11 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
   // straight past T1 stages now, off the critical path).
   prewarm(target);
 
+  if (options_.migration.active()) {
+    begin_precopy(target, d);
+    return;
+  }
+
   // Drain every active origin board; collect its migratable applications.
   std::vector<runtime::BoardRuntime::MigratedApp> migrated;
   for (int index : active_epochs_) {
@@ -401,6 +433,9 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
   event.apps_migrated = static_cast<int>(migrated.size());
   event.bytes = 4096;  // switch-control message
   for (const auto& m : migrated) event.bytes += m.state_bytes;
+  // Whole-state: the origins are already paused, so the entire transfer is
+  // stop-and-copy downtime.
+  event.stopcopy_bytes = event.bytes;
   std::size_t event_index = switch_events_.size();
   switch_events_.push_back(event);
   m_switches_.add();
@@ -414,6 +449,7 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
   link_.transfer(event.bytes, [this, migrated = std::move(migrated), t0,
                                event_index] {
     switch_events_[event_index].overhead = sim_.now() - t0;
+    switch_events_[event_index].downtime = sim_.now() - t0;
     for (const auto& m : migrated) {
       const apps::AppSpec& spec =
           suite_.at(static_cast<std::size_t>(m.spec_index));
@@ -426,6 +462,131 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
       }
     }
   });
+}
+
+// --- Pre-copy migration -------------------------------------------------
+
+void Cluster::begin_precopy(core::SwitchLoop::Config target, double d) {
+  auto st = std::make_shared<PrecopyState>();
+  st->target = target;
+  st->origins = active_epochs_;
+  st->t0 = sim_.now();
+  // The origins stop admitting but *keep executing* — that is the point of
+  // pre-copy. New arrivals flow to the target pool immediately.
+  for (int index : st->origins) {
+    epochs_[static_cast<std::size_t>(index)]->runtime->stop_admission();
+  }
+  activate_pool(target);
+  // First round: every app that is pause-visible right now ships its full
+  // migratable footprint; running apps join the stream when they pause
+  // (their dirt keeps accumulating in the migration plane until then).
+  std::int64_t first = 4096;  // switch-control message
+  for (int index : st->origins) {
+    runtime::BoardRuntime& rt =
+        *epochs_[static_cast<std::size_t>(index)]->runtime;
+    rt.begin_migration_stream();
+    first += rt.take_migration_stream_bytes();
+  }
+  st->first_round_bytes = first;
+
+  SwitchEvent event;
+  event.time = sim_.now();
+  event.to = target;
+  event.dswitch = d;
+  st->event_index = switch_events_.size();
+  switch_events_.push_back(event);
+  m_switches_.add();
+  precopy_active_ = true;
+  VS_INFO << "pre-copy switch -> " << config_name(target) << " (D=" << d
+          << ", first round " << first << " bytes)";
+  precopy_round(std::move(st), first);
+}
+
+void Cluster::precopy_round(std::shared_ptr<PrecopyState> st,
+                            std::int64_t bytes) {
+  ++st->rounds;
+  st->streamed += bytes;
+  m_migration_rounds_.add();
+  m_precopy_bytes_.add(bytes);
+  link_.transfer(bytes, [this, st] {
+    // Round landed: the next payload is the footprint of apps that paused
+    // since (first-time streams) plus the dirt already-streamed apps wrote
+    // while running in between. Crashed origins dropped out (the crash
+    // path evacuated their apps); drained ones contribute nothing.
+    std::int64_t dirty = 0;
+    for (int index : st->origins) {
+      runtime::BoardRuntime& rt =
+          *epochs_[static_cast<std::size_t>(index)]->runtime;
+      if (rt.crashed()) continue;
+      dirty += rt.take_migration_stream_bytes();
+    }
+    const MigrationPolicy& mp = options_.migration;
+    auto floor = std::max(
+        mp.min_dirty_bytes,
+        static_cast<std::int64_t>(mp.convergence *
+                                  static_cast<double>(st->first_round_bytes)));
+    if (dirty <= floor || st->rounds >= mp.max_rounds) {
+      finish_precopy(std::move(st), dirty);
+    } else {
+      precopy_round(std::move(st), dirty);
+    }
+  });
+}
+
+void Cluster::finish_precopy(std::shared_ptr<PrecopyState> st,
+                             std::int64_t final_dirty) {
+  // Stop-and-copy: *now* the origins pause and release their migratable
+  // apps; only the final dirty residue still has to cross the link — the
+  // streamed base and deltas already reconstruct everything else.
+  std::vector<MigratedApp> migrated;
+  for (int index : st->origins) {
+    runtime::BoardRuntime& rt =
+        *epochs_[static_cast<std::size_t>(index)]->runtime;
+    if (rt.crashed()) continue;
+    auto part = rt.extract_migratable();
+    migrated.insert(migrated.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  SwitchEvent& event = switch_events_[st->event_index];
+  event.apps_migrated = static_cast<int>(migrated.size());
+  event.precopy_rounds = st->rounds;
+  event.precopy_bytes = st->streamed;
+  event.stopcopy_bytes = 4096 + final_dirty;  // control message + residue
+  event.bytes = st->streamed + event.stopcopy_bytes;
+  m_migrated_apps_.add(event.apps_migrated);
+  VS_INFO << "pre-copy stop-and-copy after " << st->rounds << " rounds ("
+          << event.precopy_bytes << " streamed, " << event.stopcopy_bytes
+          << " stop-copy bytes, " << event.apps_migrated << " apps)";
+
+  sim::SimTime t0 = sim_.now();
+  link_.transfer(
+      event.stopcopy_bytes,
+      [this, st = std::move(st), migrated = std::move(migrated), t0]() mutable {
+        SwitchEvent& done = switch_events_[st->event_index];
+        done.downtime = sim_.now() - t0;
+        done.overhead = sim_.now() - st->t0;
+        m_migration_downtime_ms_.observe(sim::to_ms(done.downtime));
+        precopy_active_ = false;
+        for (MigratedApp& m : migrated) {
+          // Target boards can crash while the residue is in flight (fault
+          // plane): queue for re-admission rather than assert, exactly as
+          // displaced-app placement does.
+          runtime::BoardRuntime* rt = least_loaded_or_null();
+          if (rt == nullptr) {
+            readmit_queue_.push_back(ReadmitEntry{std::move(m), nullptr});
+            continue;
+          }
+          const apps::AppSpec& spec =
+              suite_.at(static_cast<std::size_t>(m.spec_index));
+          if (m.progress.empty()) {
+            rt->submit(spec, m.spec_index, m.batch, m.arrival,
+                       m.item_interval);
+          } else {
+            rt->submit_with_progress(spec, m.spec_index, m.batch, m.arrival,
+                                     m.progress, m.item_interval);
+          }
+        }
+      });
 }
 
 // --- Fault plane and recovery ------------------------------------------

@@ -21,6 +21,7 @@
 
 #include "apps/task.h"
 #include "cluster/aurora.h"
+#include "cluster/migration.h"
 #include "core/dswitch.h"
 #include "core/versaslot_policy.h"
 #include "faults/fault_plane.h"
@@ -112,6 +113,13 @@ struct ClusterOptions {
   /// active, crashed bundled apps restore to their last snapshot instead
   /// of restarting from scratch.
   runtime::CheckpointPolicy checkpoint;
+  /// Iterative pre-copy live migration for D_switch switches (see
+  /// cluster/migration.h). Inactive (the default) keeps the whole-state
+  /// stop-and-copy path byte-identical. Active, every board epoch tracks
+  /// DDR dirty regions at `checkpoint.granularity` (the dirty map is
+  /// shared with delta checkpointing) and switches stream state while the
+  /// origins keep executing.
+  MigrationPolicy migration;
   /// Sharded event kernel (sim/sharded.h). Null (the default) runs every
   /// board on the single Simulator passed to the constructor. When set, the
   /// constructor's Simulator must be `sharded->global()` and the kernel
@@ -141,8 +149,14 @@ struct SwitchEvent {
   core::SwitchLoop::Config to = core::SwitchLoop::Config::kBigLittle;
   double dswitch = 0.0;
   int apps_migrated = 0;
-  std::int64_t bytes = 0;
-  sim::SimDuration overhead = 0;  ///< Aurora transfer time (filled on done)
+  std::int64_t bytes = 0;  ///< total transferred (streamed + stop-and-copy)
+  sim::SimDuration overhead = 0;  ///< decision-to-placement span (on done)
+  // Pre-copy breakdown (whole-state switches leave rounds/precopy at 0 and
+  // report their full transfer as the stop-and-copy downtime).
+  int precopy_rounds = 0;          ///< rounds streamed while origins ran
+  std::int64_t precopy_bytes = 0;  ///< bytes streamed before the stop
+  std::int64_t stopcopy_bytes = 0; ///< final stop-and-copy transfer bytes
+  sim::SimDuration downtime = 0;   ///< stop-and-copy transfer time (on done)
 };
 
 class Cluster {
@@ -192,6 +206,13 @@ class Cluster {
   [[nodiscard]] const RecoveryStats& recovery_stats() const noexcept {
     return recovery_stats_;
   }
+  /// Checkpoint pass accounting summed over every board epoch (all zero
+  /// without an active CheckpointPolicy).
+  [[nodiscard]] runtime::CheckpointStats checkpoint_stats() const {
+    runtime::CheckpointStats total;
+    for (const auto& e : epochs_) total += e->runtime->checkpoint_stats();
+    return total;
+  }
   /// Fault plane, or null when `options.faults` is disabled.
   [[nodiscard]] const faults::FaultPlane* fault_plane() const noexcept {
     return fault_plane_.get();
@@ -212,6 +233,22 @@ class Cluster {
   void sample_and_act();
   void prewarm(core::SwitchLoop::Config config);
   void do_switch(core::SwitchLoop::Config target, double d);
+  // --- Pre-copy migration (MigrationPolicy) ---------------------------
+  /// One in-flight pre-copy migration: origin epochs keep executing while
+  /// rounds stream; shared across the round-completion closures.
+  struct PrecopyState {
+    core::SwitchLoop::Config target = core::SwitchLoop::Config::kBigLittle;
+    std::vector<int> origins;          ///< epoch indices streaming out
+    std::size_t event_index = 0;       ///< into switch_events_
+    sim::SimTime t0 = 0;               ///< switch decision time
+    int rounds = 0;                    ///< streamed rounds so far
+    std::int64_t first_round_bytes = 0;
+    std::int64_t streamed = 0;         ///< bytes streamed so far
+  };
+  void begin_precopy(core::SwitchLoop::Config target, double d);
+  void precopy_round(std::shared_ptr<PrecopyState> st, std::int64_t bytes);
+  void finish_precopy(std::shared_ptr<PrecopyState> st,
+                      std::int64_t final_dirty);
   [[nodiscard]] runtime::BoardRuntime& least_loaded_active();
   [[nodiscard]] runtime::BoardRuntime* least_loaded_or_null();
   [[nodiscard]] std::vector<fpga::Board*> boards_for(
@@ -254,6 +291,9 @@ class Cluster {
   std::vector<runtime::CompletedApp> completed_;
   std::vector<SwitchEvent> switch_events_;
   int submitted_ = 0;
+  /// A pre-copy migration is streaming; further switches defer until its
+  /// stop-and-copy lands (the origins are still mid-extraction).
+  bool precopy_active_ = false;
 
   // Fault plane (null when options.faults is disabled) and recovery state.
   std::unique_ptr<faults::FaultPlane> fault_plane_;
@@ -283,6 +323,10 @@ class Cluster {
   // Checkpoint-restore instruments (faults + checkpointing only).
   obs::HistogramHandle m_restored_items_;   ///< vs_ckpt_restored_items
   obs::HistogramHandle m_rerun_window_ms_;  ///< vs_ckpt_rerun_window_ms
+  // Pre-copy instruments (registered only when migration.active()).
+  obs::CounterHandle m_migration_rounds_;   ///< vs_migration_rounds_total
+  obs::CounterHandle m_precopy_bytes_;  ///< vs_migration_precopy_bytes_total
+  obs::HistogramHandle m_migration_downtime_ms_;  ///< vs_migration_downtime_ms
 };
 
 }  // namespace vs::cluster

@@ -71,6 +71,18 @@ struct BoardParams {
                static_cast<double>(bytes) / ckpt_bandwidth_bytes_per_s * 1e9);
   }
 
+  /// Dirty-delta snapshot pass: the copy engine walks a region list instead
+  /// of the whole image, so the per-pass setup is cheaper; the copied bytes
+  /// still move at DDR-to-DDR bandwidth.
+  sim::SimDuration ckpt_delta_fixed_overhead = sim::us(5.0);
+
+  [[nodiscard]] sim::SimDuration ckpt_delta_time(
+      std::int64_t dirty_bytes) const {
+    return ckpt_delta_fixed_overhead +
+           static_cast<sim::SimDuration>(static_cast<double>(dirty_bytes) /
+                                         ckpt_bandwidth_bytes_per_s * 1e9);
+  }
+
   // ---- Hypervisor core operation costs (bare-metal ARM Cortex-A53).
   sim::SimDuration sched_pass_cost = sim::us(20.0);   ///< one scheduling pass
   sim::SimDuration launch_op_cost = sim::us(50.0);    ///< buffer alloc + DMA kick

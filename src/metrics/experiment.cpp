@@ -122,6 +122,7 @@ RunResult run_single_board(SystemKind kind,
     result.counters.passes += rc.passes;
     result.counters.ckpt_snapshots += rc.ckpt_snapshots;
     result.counters.ckpt_bytes += rc.ckpt_bytes;
+    result.checkpoint += rt.checkpoint_stats();
     const runtime::UtilizationIntegral& u = rt.utilization();
     result.utilization.lut_used += u.lut_used;
     result.utilization.ff_used += u.ff_used;
@@ -302,6 +303,7 @@ ClusterRunResult collect_cluster_result(const cluster::Cluster& cluster,
   result.dswitch_trace = cluster.dswitch().trace();
   result.switches = cluster.switches();
   result.recovery = cluster.recovery_stats();
+  result.checkpoint = cluster.checkpoint_stats();
   if (cluster.fault_plane() != nullptr) {
     result.availability = cluster.fault_plane()->mean_availability(now);
   }

@@ -69,6 +69,9 @@ struct RunResult {
   cluster::RecoveryStats recovery;
   /// Board availability over the run (1.0 without a fault plane).
   double availability = 1.0;
+  /// Checkpoint pass accounting summed over board epochs (all zero
+  /// without an active CheckpointPolicy).
+  runtime::CheckpointStats checkpoint;
 };
 
 struct RunOptions {
@@ -141,6 +144,9 @@ struct ClusterRunResult {
   cluster::RecoveryStats recovery;
   /// Mean board availability over the run (1.0 without a fault plane).
   double availability = 1.0;
+  /// Checkpoint pass accounting summed over every board epoch (all zero
+  /// without an active CheckpointPolicy).
+  runtime::CheckpointStats checkpoint;
   /// Events executed by the kernel (coordinator + shards when sharded).
   /// Identical across kernels and worker counts for a given seed.
   std::uint64_t events = 0;

@@ -57,6 +57,23 @@ void BoardRuntime::bind_metrics(obs::MetricsRegistry& registry) {
         &registry.counter("vs_ckpt_snapshots_total", labels)};
     m_ckpt_bytes_ =
         obs::CounterHandle{&registry.counter("vs_ckpt_bytes_total", labels)};
+    obs::Labels clean = labels, empty = labels;
+    clean.emplace_back("reason", "clean");
+    empty.emplace_back("reason", "empty");
+    m_ckpt_skipped_clean_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_skipped_total", std::move(clean))};
+    m_ckpt_skipped_empty_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_skipped_total", std::move(empty))};
+  }
+  if (ckpt_.delta_active()) {
+    m_ckpt_dirty_bytes_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_dirty_bytes_total", labels)};
+    m_ckpt_dirty_regions_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_dirty_regions_total", labels)};
+    m_ckpt_deltas_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_deltas_total", labels)};
+    m_ckpt_compactions_ = obs::CounterHandle{
+        &registry.counter("vs_ckpt_compactions_total", labels)};
   }
   for (std::size_t s = 0; s < m_slot_state_.size(); ++s) {
     obs::Labels state_labels = labels;
@@ -106,6 +123,7 @@ int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
   for (auto& u : units) app.units.push_back(UnitRun{std::move(u)});
   apps_.push_back(std::move(app));
   int id = apps_.back().id;
+  init_dirty(apps_.back());
   policy_.on_app_submitted(*this, id);
   arm_checkpoint();
   kick();
@@ -116,6 +134,129 @@ void BoardRuntime::enable_checkpoints(const CheckpointPolicy& policy) {
   assert(apps_.empty() &&
          "enable checkpointing before the first admission");
   ckpt_ = policy;
+  if (ckpt_.delta_active()) enable_dirty_tracking(ckpt_.granularity);
+}
+
+void BoardRuntime::enable_dirty_tracking(std::int64_t granularity) {
+  assert(apps_.empty() &&
+         "enable dirty tracking before the first admission");
+  if (granularity <= 0) return;
+  dirty_granularity_ = dirty_granularity_ > 0
+                           ? std::min(dirty_granularity_, granularity)
+                           : granularity;
+}
+
+std::int64_t BoardRuntime::state_image_bytes(const AppRun& a) const {
+  // Descriptor + per-item staging headers + one input-buffer area per
+  // pipeline stage (batch slots of item_bytes_in each). This is the layout
+  // the snapshot/migration byte formulas walk: item k's header lives at
+  // 4096 + k*16384, stage u's input slot k at area(u) + k*item_bytes_in.
+  std::int64_t bytes = 4096 + static_cast<std::int64_t>(a.batch) * 16384;
+  for (const UnitRun& u : a.units) {
+    bytes += static_cast<std::int64_t>(a.batch) * u.spec.item_bytes_in;
+  }
+  return bytes;
+}
+
+void BoardRuntime::init_dirty(AppRun& a) {
+  if (dirty_granularity_ <= 0) return;
+  a.dirty.reset(state_image_bytes(a), dirty_granularity_);
+  // A fresh image (admission, re-unitise, restored progress) is all-new to
+  // both consumers.
+  a.dirty.mark_all();
+}
+
+void BoardRuntime::mark_item_write(AppRun& a, int unit_index, int item) {
+  if (dirty_granularity_ <= 0) return;
+  // The committed item rewrites its staging header ...
+  a.dirty.mark(4096 + static_cast<std::int64_t>(item) * 16384, 16384);
+  // ... and lands its output in the next stage's input-buffer slot. The
+  // final stage's output DMAs back to the host instead, leaving DDR clean.
+  std::size_t next = static_cast<std::size_t>(unit_index) + 1;
+  if (next >= a.units.size()) return;
+  std::int64_t off = 4096 + static_cast<std::int64_t>(a.batch) * 16384;
+  for (std::size_t j = 0; j < next; ++j) {
+    off += static_cast<std::int64_t>(a.batch) * a.units[j].spec.item_bytes_in;
+  }
+  off += static_cast<std::int64_t>(item) * a.units[next].spec.item_bytes_in;
+  a.dirty.mark(off, a.units[next].spec.item_bytes_in);
+}
+
+namespace {
+
+/// The byte volume migrating this app ships right now: its descriptor and
+/// staging headers, plus — once started — the inter-stage buffers queued
+/// between pipeline units (the same formula migrated_with_progress and
+/// base snapshots use).
+std::int64_t migratable_app_bytes(const AppRun& a) {
+  std::int64_t bytes = 4096 + static_cast<std::int64_t>(a.batch) * 16384;
+  if (!a.started) return bytes;
+  int upstream_done = a.batch;
+  for (const UnitRun& u : a.units) {
+    bytes += static_cast<std::int64_t>(upstream_done - u.items_done) *
+             u.spec.item_bytes_in;
+    upstream_done = u.items_done;
+  }
+  return bytes;
+}
+
+/// On the per-task decomposition (bundled apps drain on the Big slots they
+/// are bound to, §III-C).
+bool per_task_units(const AppRun& a) {
+  return a.units.size() == static_cast<std::size_t>(a.spec->task_count());
+}
+
+/// Migratable right now: unstarted, or paused between tasks — the same
+/// test extract_migratable applies before tombstoning.
+bool migratable_now(const AppRun& a) {
+  if (!a.started) return true;
+  if (!per_task_units(a)) return false;
+  for (const UnitRun& u : a.units) {
+    if ((u.state != UnitState::kPending && u.state != UnitState::kFinished) ||
+        u.item_in_flight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t BoardRuntime::migratable_state_bytes() const {
+  std::int64_t bytes = 0;
+  for (const AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done()) continue;
+    if (a.started && !per_task_units(a)) continue;
+    bytes += migratable_app_bytes(a);
+  }
+  return bytes;
+}
+
+void BoardRuntime::begin_migration_stream() {
+  for (AppRun& a : apps_) a.precopy_streamed = false;
+}
+
+std::int64_t BoardRuntime::take_migration_stream_bytes() {
+  if (dirty_granularity_ <= 0) return 0;
+  std::int64_t bytes = 0;
+  for (AppRun& a : apps_) {
+    if (a.spec == nullptr || a.done()) continue;
+    // Running apps keep dirtying their image until they pause — or drain
+    // here, in which case their dirt was never anybody's payload. Bundled
+    // apps never migrate at all.
+    if (!migratable_now(a)) continue;
+    if (!a.precopy_streamed) {
+      // First time this app is pause-visible during the stream: ship its
+      // whole migratable footprint and start tracking dirt from here.
+      a.precopy_streamed = true;
+      (void)a.dirty.take(DirtyMap::kMigration);
+      bytes += migratable_app_bytes(a);
+    } else {
+      // Already streamed: only what it wrote since (it ran in between).
+      bytes += a.dirty.take(DirtyMap::kMigration).bytes;
+    }
+  }
+  return bytes;
 }
 
 void BoardRuntime::arm_checkpoint() {
@@ -133,7 +274,9 @@ void BoardRuntime::arm_checkpoint() {
 }
 
 void BoardRuntime::checkpoint_pass() {
-  std::int64_t pass_bytes = 0;
+  std::int64_t pass_full_bytes = 0;
+  std::int64_t pass_delta_bytes = 0;
+  const bool delta_mode = ckpt_.delta_active() && dirty_granularity_ > 0;
   std::vector<int> snap;
   for (AppRun& a : apps_) {
     if (a.spec == nullptr || a.done() || !a.started) continue;
@@ -150,40 +293,89 @@ void BoardRuntime::checkpoint_pass() {
       }
       any |= u.items_done > 0;
     }
-    if (!any) continue;  // nothing committed: a snapshot restores nothing
+    if (!any) {
+      // Started but nothing committed: a snapshot restores nothing and
+      // there is no restore point to refresh either — distinct from the
+      // clean skip below, where a valid snapshot already covers "now".
+      ++ckpt_stats_.skipped_empty;
+      m_ckpt_skipped_empty_.add();
+      continue;
+    }
     if (a.ckpt_time >= 0 && snap == a.ckpt_progress) {
       // Unchanged since the last snapshot: skip the copy but refresh the
       // timestamp — the restore point still reflects "now", keeping the
       // re-run window bounded by one interval.
       a.ckpt_time = sim().now();
+      ++ckpt_stats_.skipped_clean;
+      m_ckpt_skipped_clean_.add();
       continue;
     }
-    // Snapshot volume: descriptor + per-item staging headers + the
-    // inter-stage buffers queued between pipeline units (the same DDR
-    // footprint migrated_with_progress ships over the Aurora link).
-    std::int64_t bytes =
-        4096 + static_cast<std::int64_t>(a.batch) * 16384;
+    // Full-image footprint at this progress: descriptor + per-item staging
+    // headers + the inter-stage buffers queued between pipeline units (the
+    // same DDR footprint migrated_with_progress ships over the Aurora
+    // link). A base snapshot copies exactly this; a crash evacuation ships
+    // it too, even mid-chain — the rescuer reads each surviving region
+    // once, and the union of base + delta regions is the current image.
+    std::int64_t image = 4096 + static_cast<std::int64_t>(a.batch) * 16384;
     int upstream_done = a.batch;
     for (const UnitRun& u : a.units) {
       std::int64_t queued_items = upstream_done - u.items_done;
-      bytes += queued_items * u.spec.item_bytes_in;
+      image += queued_items * u.spec.item_bytes_in;
       upstream_done = u.items_done;
     }
+    std::int64_t bytes;
+    if (delta_mode && a.ckpt_time >= 0 && a.ckpt_chain < ckpt_.compact_every) {
+      // Delta snapshot: copy only the regions written since the last pass,
+      // chained onto the current base.
+      DirtyMap::Drain d = a.dirty.take(DirtyMap::kCheckpoint);
+      bytes = kCkptDeltaHeaderBytes + d.bytes;
+      ++a.ckpt_chain;
+      pass_delta_bytes += bytes;
+      ++ckpt_stats_.deltas;
+      ckpt_stats_.delta_bytes += bytes;
+      ckpt_stats_.dirty_regions += d.regions;
+      m_ckpt_dirty_bytes_.add(d.bytes);
+      m_ckpt_dirty_regions_.add(d.regions);
+      m_ckpt_deltas_.add();
+    } else {
+      // Base snapshot: whole-state mode, an app's first snapshot, or a
+      // chain that hit compact_every (compaction rewrites a full base so
+      // the restore chain stays bounded).
+      bytes = image;
+      if (delta_mode) {
+        if (a.ckpt_time >= 0) {
+          ++ckpt_stats_.compactions;
+          m_ckpt_compactions_.add();
+        }
+        // The base covers every outstanding write: start the next delta
+        // from a clean checkpoint plane.
+        (void)a.dirty.take(DirtyMap::kCheckpoint);
+      }
+      a.ckpt_chain = 0;
+      pass_full_bytes += bytes;
+      ++ckpt_stats_.bases;
+      ckpt_stats_.base_bytes += bytes;
+    }
+    a.ckpt_bytes = image;
     a.ckpt_progress = snap;
     a.ckpt_time = sim().now();
-    a.ckpt_bytes = bytes;
-    pass_bytes += bytes;
     ++counters_.ckpt_snapshots;
     counters_.ckpt_bytes += bytes;
     m_ckpt_snapshots_.add();
     m_ckpt_bytes_.add(bytes);
   }
-  if (pass_bytes > 0) {
-    // Charge the DDR-to-DDR snapshot copy on the scheduler core: launches
-    // and passes queue behind it, so the checkpoint cost is visible in
-    // response times.
-    board_.scheduler_core().submit(
-        board_.params().ckpt_snapshot_time(pass_bytes), [] {}, "ckpt");
+  // Charge the DDR-to-DDR copies on the scheduler core: launches and
+  // passes queue behind them, so the checkpoint cost is visible in
+  // response times. Base and delta copies price differently.
+  sim::SimDuration cost = 0;
+  if (pass_full_bytes > 0) {
+    cost += board_.params().ckpt_snapshot_time(pass_full_bytes);
+  }
+  if (pass_delta_bytes > 0) {
+    cost += board_.params().ckpt_delta_time(pass_delta_bytes);
+  }
+  if (cost > 0) {
+    board_.scheduler_core().submit(cost, [] {}, "ckpt");
   }
 }
 
@@ -195,6 +387,9 @@ void BoardRuntime::set_units(int app_id, std::vector<apps::UnitSpec> units) {
   a.units.clear();
   a.units.reserve(units.size());
   for (auto& u : units) a.units.push_back(UnitRun{std::move(u)});
+  // Re-unitising reshapes the DDR image: rebuild the dirty map for the new
+  // layout (everything is new to both consumers again).
+  init_dirty(a);
 }
 
 std::vector<int> BoardRuntime::idle_slots(fpga::SlotKind kind) const {
@@ -708,6 +903,7 @@ void BoardRuntime::finish_item(int app_id, int unit_index) {
     return;
   }
   ++u.items_done;
+  mark_item_write(a, unit_index, u.items_done - 1);
   ++counters_.items_executed;
   m_items_.add();
   if (u.items_done >= a.batch) finish_unit(u);

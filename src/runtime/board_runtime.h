@@ -22,6 +22,7 @@
 #include "fpga/board.h"
 #include "obs/metrics.h"
 #include "runtime/checkpoint.h"
+#include "runtime/dirty_map.h"
 #include "runtime/policy.h"
 #include "sim/trace.h"
 
@@ -66,10 +67,21 @@ struct AppRun {
   sim::SimTime completed = -1;
   sim::SimTime stream_kick = -1;  ///< pending wake-up for streamed items
   /// Last DDR checkpoint (CheckpointPolicy): expanded per-task progress,
-  /// when it was taken (-1 = never), and its snapshot byte volume.
+  /// when it was taken (-1 = never), and the byte volume a crash
+  /// evacuation ships to restore it — the reconstructed image in both
+  /// modes (a restore reads each surviving region once, so a delta chain
+  /// never ships more than the union of its base + delta regions).
   std::vector<int> ckpt_progress;
   sim::SimTime ckpt_time = -1;
   std::int64_t ckpt_bytes = 0;
+  /// Deltas chained onto the current base snapshot (delta mode only).
+  int ckpt_chain = 0;
+  /// Pre-copy: this app's migratable footprint has been streamed to the
+  /// target at least once this migration (later rounds ship only dirt).
+  bool precopy_streamed = false;
+  /// DDR dirty-region map; empty unless the board tracks dirty state
+  /// (delta checkpointing and/or pre-copy migration).
+  DirtyMap dirty;
 
   [[nodiscard]] bool done() const noexcept { return completed >= 0; }
 
@@ -293,6 +305,39 @@ class BoardRuntime {
   [[nodiscard]] const CheckpointPolicy& checkpoint_policy() const noexcept {
     return ckpt_;
   }
+  [[nodiscard]] const CheckpointStats& checkpoint_stats() const noexcept {
+    return ckpt_stats_;
+  }
+
+  // --------------------------------------------------------- dirty tracking
+  /// Enables per-app DDR dirty-region maps at `granularity` bytes. Call
+  /// before the first submit. Idempotent; when both delta checkpointing
+  /// and pre-copy migration ask for tracking, the finer granularity wins.
+  /// enable_checkpoints() with an active delta policy calls this itself.
+  void enable_dirty_tracking(std::int64_t granularity);
+  [[nodiscard]] bool dirty_tracking() const noexcept {
+    return dirty_granularity_ > 0;
+  }
+
+  // -------------------------------------------------------------- pre-copy
+  /// Byte volume a stop-and-copy extraction would ship *right now*:
+  /// descriptors of unstarted apps plus the DDR images of started per-task
+  /// apps. Unlike extract_migratable() this does not require apps to be
+  /// paused — an upper bound on what a pre-copy would ever stream.
+  [[nodiscard]] std::int64_t migratable_state_bytes() const;
+
+  /// Starts a pre-copy stream: clears every app's streamed flag so the
+  /// next take_migration_stream_bytes() ships full footprints again.
+  void begin_migration_stream();
+
+  /// One pre-copy round's payload. Only apps that are migratable *right
+  /// now* (unstarted, or paused between tasks on the per-task
+  /// decomposition) are streamed: a first-time app ships its full
+  /// migratable footprint, an already-streamed app only the migration-
+  /// plane dirt it accumulated since (writes while it was running).
+  /// Running and bundled apps are left untouched — their dirt keeps
+  /// accumulating until they pause (or drain on this board).
+  [[nodiscard]] std::int64_t take_migration_stream_bytes();
 
   // ------------------------------------------------------------ fault plane
   /// Board crash result, partitioned three ways: `evacuable` apps were
@@ -354,8 +399,18 @@ class BoardRuntime {
   /// a tick is already pending, or the board crashed).
   void arm_checkpoint();
   /// Snapshots every started app with committed progress, then charges the
-  /// total snapshot DMA on the scheduler core.
+  /// total snapshot DMA on the scheduler core. In delta mode only regions
+  /// dirtied since the last snapshot are copied (base-plus-delta chain
+  /// with compaction every CheckpointPolicy::compact_every deltas).
   void checkpoint_pass();
+  /// (Re)initialises an app's dirty map for its current unit layout, all
+  /// regions dirty. No-op unless dirty tracking is enabled.
+  void init_dirty(AppRun& a);
+  /// Marks the DDR writes of one committed item: its staging header and
+  /// its output in the next stage's input-buffer slot.
+  void mark_item_write(AppRun& a, int unit_index, int item);
+  /// Total DDR image size of an app under the current unit layout.
+  [[nodiscard]] std::int64_t state_image_bytes(const AppRun& a) const;
 
   fpga::Board& board_;
   SchedulerPolicy& policy_;
@@ -370,7 +425,9 @@ class BoardRuntime {
   bool admission_open_ = true;
   bool crashed_ = false;
   CheckpointPolicy ckpt_;
+  CheckpointStats ckpt_stats_;
   bool ckpt_armed_ = false;
+  std::int64_t dirty_granularity_ = 0;  ///< 0 = no dirty tracking
   int full_fabric_app_ = -1;  ///< baseline: app owning the whole fabric
   std::int64_t window_blocked_ = 0;
   sim::SimTime last_util_touch_ = 0;
@@ -386,9 +443,16 @@ class BoardRuntime {
   obs::CounterHandle m_passes_;          ///< vs_runtime_passes_total
   obs::HistogramHandle m_response_ms_;   ///< vs_app_response_ms
   obs::HistogramHandle m_item_ms_;       ///< vs_runtime_item_ms
-  // Checkpoint instruments (registered only when ckpt_.active()).
+  // Checkpoint instruments (registered only when ckpt_.active(); the
+  // delta instruments additionally require ckpt_.delta_active()).
   obs::CounterHandle m_ckpt_snapshots_;  ///< vs_ckpt_snapshots_total
   obs::CounterHandle m_ckpt_bytes_;      ///< vs_ckpt_bytes_total
+  obs::CounterHandle m_ckpt_skipped_clean_;  ///< vs_ckpt_skipped_total{clean}
+  obs::CounterHandle m_ckpt_skipped_empty_;  ///< vs_ckpt_skipped_total{empty}
+  obs::CounterHandle m_ckpt_dirty_bytes_;    ///< vs_ckpt_dirty_bytes_total
+  obs::CounterHandle m_ckpt_dirty_regions_;  ///< vs_ckpt_dirty_regions_total
+  obs::CounterHandle m_ckpt_deltas_;         ///< vs_ckpt_deltas_total
+  obs::CounterHandle m_ckpt_compactions_;    ///< vs_ckpt_compactions_total
   /// vs_slot_state_count{state=...}, indexed by fpga::SlotState.
   std::array<obs::GaugeHandle, 4> m_slot_state_{};
 };

@@ -383,6 +383,297 @@ TEST(CheckpointDeterminism, SerialParallelAndInstrumentedBitIdentical) {
   }
 }
 
+// ----------------------------------------------------------- DirtyMapUnit
+
+TEST(DirtyMapUnit, GeometryMarkingAndTailAccounting) {
+  runtime::DirtyMap map;
+  EXPECT_FALSE(map.enabled());
+  EXPECT_EQ(map.take(runtime::DirtyMap::kCheckpoint).bytes, 0);
+
+  // 10 KiB image, 4 KiB regions: three regions, the last only 2 KiB.
+  map.reset(10 * 1024, 4 * 1024);
+  ASSERT_TRUE(map.enabled());
+  EXPECT_EQ(map.regions(), 3);
+
+  // A one-byte write dirties exactly its region.
+  map.mark(5000, 1);
+  auto d = map.peek(runtime::DirtyMap::kCheckpoint);
+  EXPECT_EQ(d.regions, 1);
+  EXPECT_EQ(d.bytes, 4 * 1024);
+
+  // A write spanning a region boundary dirties both sides.
+  map.mark(4 * 1024 - 10, 20);
+  d = map.peek(runtime::DirtyMap::kCheckpoint);
+  EXPECT_EQ(d.regions, 2);
+
+  // The tail region is accounted at its true 2 KiB, not the granularity.
+  map.mark_all();
+  d = map.peek(runtime::DirtyMap::kCheckpoint);
+  EXPECT_EQ(d.regions, 3);
+  EXPECT_EQ(d.bytes, 10 * 1024);
+}
+
+TEST(DirtyMapUnit, PlanesDrainIndependently) {
+  runtime::DirtyMap map;
+  map.reset(64 * 1024, 8 * 1024);
+  map.mark(0, 1);
+
+  // Draining the checkpoint plane must not shorten the migration plane.
+  auto ckpt = map.take(runtime::DirtyMap::kCheckpoint);
+  EXPECT_EQ(ckpt.regions, 1);
+  EXPECT_EQ(map.peek(runtime::DirtyMap::kCheckpoint).regions, 0);
+  EXPECT_EQ(map.peek(runtime::DirtyMap::kMigration).regions, 1);
+
+  // New writes re-dirty both planes; the migration drain sees old + new.
+  map.mark(60 * 1024, 1);
+  auto mig = map.take(runtime::DirtyMap::kMigration);
+  EXPECT_EQ(mig.regions, 2);
+  EXPECT_EQ(map.peek(runtime::DirtyMap::kMigration).regions, 0);
+  // ... while the checkpoint plane saw only the new write.
+  EXPECT_EQ(map.peek(runtime::DirtyMap::kCheckpoint).regions, 1);
+}
+
+TEST(DirtyMapUnit, ClampsOutOfRangeMarks) {
+  runtime::DirtyMap map;
+  map.reset(16 * 1024, 4 * 1024);
+  map.mark(-100, 50);            // entirely before the image
+  map.mark(20 * 1024, 4096);     // entirely past the image
+  map.mark(1000, 0);             // empty
+  EXPECT_EQ(map.peek(runtime::DirtyMap::kCheckpoint).regions, 0);
+  map.mark(15 * 1024, 1 << 20);  // straddles the end: clamped to the tail
+  EXPECT_EQ(map.peek(runtime::DirtyMap::kCheckpoint).regions, 1);
+}
+
+// -------------------------------------------------------- CheckpointDelta
+
+cluster::ClusterOptions delta_options(std::int64_t granularity = 64 * 1024) {
+  cluster::ClusterOptions options = checkpointed_options(true);
+  options.checkpoint.delta = true;
+  options.checkpoint.granularity = granularity;
+  return options;
+}
+
+TEST(CheckpointDelta, StrictlyFewerBytesThanWholeStateAtEqualIntervals) {
+  // The tentpole claim: at the same cadence, copying only dirtied regions
+  // moves strictly fewer bytes than re-copying whole images, while the
+  // recovery outcome (restored apps, completions) is unchanged.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  auto whole = metrics::run_cluster(suite, seq, checkpointed_options(true));
+  auto delta = metrics::run_cluster(suite, seq, delta_options());
+
+  ASSERT_GT(whole.checkpoint.total_bytes(), 0);
+  ASSERT_GT(delta.checkpoint.total_bytes(), 0);
+  EXPECT_LT(delta.checkpoint.total_bytes(), whole.checkpoint.total_bytes());
+  // Whole-state mode never writes deltas; delta mode demonstrably does.
+  EXPECT_EQ(whole.checkpoint.deltas, 0);
+  EXPECT_EQ(whole.checkpoint.delta_bytes, 0);
+  EXPECT_GT(delta.checkpoint.deltas, 0);
+  EXPECT_GT(delta.checkpoint.dirty_regions, 0);
+  EXPECT_GT(delta.checkpoint.bases, 0);  // first snapshots + compactions
+  // Both modes keep every app alive through both scripted crashes.
+  EXPECT_EQ(delta.completed, delta.submitted);
+  EXPECT_GT(delta.recovery.apps_checkpoint_restored, 0);
+}
+
+TEST(CheckpointDelta, ChainCompactsEveryCompactEvery) {
+  // With a chain cap of k, between two consecutive bases of one app at
+  // most k deltas accumulate; globally, deltas <= k * (bases + apps) and
+  // compactions count the bases that closed a chain.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  cluster::ClusterOptions options = delta_options();
+  options.checkpoint.compact_every = 3;
+  auto r = metrics::run_cluster(suite, seq, options);
+  ASSERT_GT(r.checkpoint.deltas, 0);
+  EXPECT_GT(r.checkpoint.compactions, 0);
+  EXPECT_LE(r.checkpoint.compactions, r.checkpoint.bases);
+  EXPECT_LE(r.checkpoint.deltas,
+            static_cast<std::int64_t>(options.checkpoint.compact_every) *
+                (r.checkpoint.bases + r.submitted));
+}
+
+TEST(CheckpointDelta, RestoredProgressStaysBoundedUnderDeltaMode) {
+  // The crash-restore property holds unchanged in delta mode: restored
+  // progress never exceeds the truth and the snapshot is at most one
+  // interval old (the delta chain refreshes ckpt_time like a base does).
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(23, 12);
+  sim::Simulator sim;
+  fpga::Board board(sim, "b0", fpga::FabricConfig::big_little(), params);
+  auto policy = metrics::make_policy(metrics::SystemKind::kVersaBigLittle);
+  runtime::BoardRuntime rt(board, *policy);
+  runtime::CheckpointPolicy ckpt;
+  ckpt.enabled = true;
+  ckpt.interval = sim::ms(10.0);
+  ckpt.delta = true;
+  ckpt.granularity = 16 * 1024;
+  rt.enable_checkpoints(ckpt);
+  ASSERT_TRUE(rt.dirty_tracking());
+  for (const auto& a : seq) {
+    sim.schedule_at(a.arrival, [&rt, &suite, a] {
+      if (rt.crashed()) return;
+      rt.submit(suite[static_cast<std::size_t>(a.spec_index)], a.spec_index,
+                a.batch, a.arrival);
+    });
+  }
+  while (sim.step() && sim.now() < sim::seconds(2.0)) {
+  }
+  std::map<std::pair<int, sim::SimTime>, std::vector<std::vector<int>>> truth;
+  for (const runtime::AppRun& a : rt.apps()) {
+    if (a.spec == nullptr || a.done()) continue;
+    truth[{a.spec_index, a.arrival}].push_back(expand_progress(a));
+  }
+  auto report = rt.crash();
+  const sim::SimTime now = sim.now();
+  EXPECT_GT(rt.checkpoint_stats().deltas, 0);
+  for (const auto& m : report.checkpointed) {
+    ASSERT_GE(m.ckpt_time, 0);
+    EXPECT_LE(now - m.ckpt_time, ckpt.interval);
+    EXPECT_GT(m.state_bytes, 0);
+    auto it = truth.find({m.spec_index, m.arrival});
+    if (it == truth.end() || it->second.size() != 1) continue;
+    const std::vector<int>& live = it->second.front();
+    ASSERT_EQ(m.progress.size(), live.size());
+    for (std::size_t i = 0; i < m.progress.size(); ++i) {
+      EXPECT_LE(m.progress[i], live[i]) << "task " << i;
+    }
+  }
+}
+
+TEST(CheckpointDelta, SkipAccountingSplitsCleanFromEmpty) {
+  // The split skip counters: "clean" skips refresh an existing snapshot,
+  // "empty" skips mean nothing was ever committed. A stress run exercises
+  // both, and snapshots partition exactly into bases + deltas.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  obs::Telemetry telemetry;
+  auto r = metrics::run_cluster(suite, seq, delta_options(),
+                                sim::seconds(36000.0), &telemetry);
+  EXPECT_GT(r.checkpoint.skipped_clean, 0);
+  EXPECT_GT(r.checkpoint.skipped_empty, 0);
+  // Snapshots partition exactly into bases + deltas, and the legacy
+  // aggregate byte counter matches the per-kind accounting.
+  double snapshots = 0, bytes = 0;
+  for (const auto& row : telemetry.registry().counters()) {
+    if (row.name == "vs_ckpt_snapshots_total") snapshots += row.cell.value();
+    if (row.name == "vs_ckpt_bytes_total") bytes += row.cell.value();
+  }
+  EXPECT_EQ(snapshots,
+            static_cast<double>(r.checkpoint.bases + r.checkpoint.deltas));
+  EXPECT_EQ(bytes, static_cast<double>(r.checkpoint.total_bytes()));
+}
+
+TEST(CheckpointDelta, DeltaInstrumentsExportOnlyInDeltaMode) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41, 10);
+
+  // Whole-state mode: no delta instruments, but the split skip counter
+  // labelled by reason is present.
+  obs::Telemetry whole;
+  (void)metrics::run_cluster(suite, seq, checkpointed_options(true),
+                             sim::seconds(36000.0), &whole);
+  bool saw_skip_reason = false;
+  for (const auto& row : whole.registry().counters()) {
+    EXPECT_NE(row.name, "vs_ckpt_dirty_bytes_total");
+    EXPECT_NE(row.name, "vs_ckpt_dirty_regions_total");
+    EXPECT_NE(row.name, "vs_ckpt_deltas_total");
+    EXPECT_NE(row.name, "vs_ckpt_compactions_total");
+    if (row.name == "vs_ckpt_skipped_total") {
+      for (const auto& [k, v] : row.labels) {
+        saw_skip_reason |= (k == "reason" && (v == "clean" || v == "empty"));
+      }
+    }
+  }
+  EXPECT_TRUE(saw_skip_reason);
+
+  // Delta mode: the dirty-delta instruments appear and agree with the
+  // aggregated CheckpointStats.
+  obs::Telemetry delta;
+  auto r = metrics::run_cluster(suite, seq, delta_options(),
+                                sim::seconds(36000.0), &delta);
+  double dirty_bytes = 0, dirty_regions = 0, deltas = 0, compactions = 0;
+  double skipped_clean = 0, skipped_empty = 0;
+  for (const auto& row : delta.registry().counters()) {
+    if (row.name == "vs_ckpt_dirty_bytes_total") {
+      dirty_bytes += row.cell.value();
+    }
+    if (row.name == "vs_ckpt_dirty_regions_total") {
+      dirty_regions += row.cell.value();
+    }
+    if (row.name == "vs_ckpt_deltas_total") deltas += row.cell.value();
+    if (row.name == "vs_ckpt_compactions_total") {
+      compactions += row.cell.value();
+    }
+    if (row.name == "vs_ckpt_skipped_total") {
+      for (const auto& [k, v] : row.labels) {
+        if (k != "reason") continue;
+        if (v == "clean") skipped_clean += row.cell.value();
+        if (v == "empty") skipped_empty += row.cell.value();
+      }
+    }
+  }
+  EXPECT_GT(dirty_regions, 0.0);
+  EXPECT_EQ(deltas, static_cast<double>(r.checkpoint.deltas));
+  EXPECT_EQ(compactions, static_cast<double>(r.checkpoint.compactions));
+  EXPECT_EQ(skipped_clean, static_cast<double>(r.checkpoint.skipped_clean));
+  EXPECT_EQ(skipped_empty, static_cast<double>(r.checkpoint.skipped_empty));
+  // Delta bytes = headers + dirty bytes shipped.
+  EXPECT_EQ(static_cast<double>(r.checkpoint.delta_bytes),
+            dirty_bytes + static_cast<double>(r.checkpoint.deltas) *
+                              runtime::kCkptDeltaHeaderBytes);
+}
+
+TEST(CheckpointDelta, SerialShardedAndInstrumentedBitIdentical) {
+  // Delta mode must hold the same determinism bar as whole-state: the
+  // serial kernel is the sharded kernel's bit-exact oracle at every worker
+  // count, with or without telemetry.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = stress_sequence(41);
+  cluster::ClusterOptions options = delta_options();
+  options.faults.hazards.slot_seu_per_s = 0.3;
+  options.faults.hazards.link_flap_per_s = 0.1;
+  options.faults.horizon = sim::seconds(30.0);
+
+  auto serial = metrics::run_cluster(suite, seq, options);
+  ASSERT_GT(serial.response_ms.size(), 0u);
+  ASSERT_GT(serial.checkpoint.deltas, 0);
+
+  obs::Telemetry telemetry;
+  auto instrumented = metrics::run_cluster(suite, seq, options,
+                                           sim::seconds(36000.0), &telemetry);
+  ASSERT_EQ(instrumented.response_ms.size(), serial.response_ms.size());
+  for (std::size_t i = 0; i < serial.response_ms.size(); ++i) {
+    EXPECT_EQ(instrumented.response_ms[i], serial.response_ms[i]) << i;
+  }
+  EXPECT_EQ(instrumented.checkpoint.delta_bytes,
+            serial.checkpoint.delta_bytes);
+
+  for (int workers : {1, 2, 4, 8}) {
+    cluster::ClusterOptions sharded = options;
+    sharded.kernel_workers = workers;
+    auto cell = metrics::run_cluster(suite, seq, sharded);
+    ASSERT_EQ(cell.response_ms.size(), serial.response_ms.size()) << workers;
+    for (std::size_t i = 0; i < serial.response_ms.size(); ++i) {
+      EXPECT_EQ(cell.response_ms[i], serial.response_ms[i])
+          << workers << " workers, app " << i;
+    }
+    EXPECT_EQ(cell.checkpoint.delta_bytes, serial.checkpoint.delta_bytes)
+        << workers;
+    EXPECT_EQ(cell.checkpoint.dirty_regions, serial.checkpoint.dirty_regions)
+        << workers;
+    EXPECT_EQ(cell.recovery.mttr_total, serial.recovery.mttr_total)
+        << workers;
+    EXPECT_EQ(cell.events, serial.events) << workers;
+  }
+}
+
 // ----------------------------------------------------- CheckpointGoldens
 
 TEST(CheckpointGoldens, Seed2025CheckpointedRecoveryClusterRun) {
