@@ -42,6 +42,7 @@
 #include "metrics/experiment.h"
 #include "metrics/sweep.h"
 #include "obs/telemetry.h"
+#include "obs/trace_hub.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -55,6 +56,12 @@ int main(int argc, char** argv) {
   const int apps_per_seq = static_cast<int>(args.get_int("apps", 40));
   const int n_seqs_arg = static_cast<int>(args.get_int("seqs", 2));
   const std::string metrics_out = obs::resolve_metrics_out(&args);
+  // Causal trace / run journal capture (--trace-out FILE or VS_TRACE,
+  // --journal-out FILE or VS_JOURNAL): same instrumented replay as
+  // --metrics-out, with flow events stitching crash -> evacuation ->
+  // readmission across the two boards.
+  const std::string trace_out = obs::resolve_trace_out(&args);
+  const std::string journal_out = obs::resolve_journal_out(&args);
   // Checkpoint knobs (--flag wins, then VS_* env, then the policy default).
   const double ckpt_interval_ms =
       util::resolve_double(&args, "ckpt-interval", "VS_CKPT_INTERVAL", 25.0);
@@ -278,12 +285,17 @@ int main(int argc, char** argv) {
                "crashed board and pays T_eval for each)\n"
                "Series written to ext_fault_resilience.csv\n";
 
-  // Optional telemetry capture (--metrics-out PREFIX or VS_METRICS):
-  // replay the harshest recovery cell instrumented, so the run report
-  // carries the fault counters, evacuation latency, MTTR and per-board
-  // availability.
-  if (!metrics_out.empty()) {
+  // Optional instrumented replay (--metrics-out PREFIX / --trace-out FILE /
+  // --journal-out FILE): re-run the harshest recovery cell with telemetry
+  // and/or the causal trace hub attached, so the run report carries the
+  // fault counters, evacuation latency, MTTR and per-board availability,
+  // and the trace/journal capture the crash -> evacuation -> readmission
+  // causality. Phase accounting rides the trace/journal flags.
+  if (!metrics_out.empty() || !trace_out.empty() || !journal_out.empty()) {
     obs::Telemetry telemetry;
+    obs::ClusterTraceHub hub;
+    hub.enable_trace(!trace_out.empty());
+    hub.enable_journal(!journal_out.empty());
     cluster::ClusterOptions options;
     options.faults =
         scenario_for(crash_rates[std::size(crash_rates) - 1], 0);
@@ -293,13 +305,28 @@ int main(int argc, char** argv) {
     options.checkpoint.interval = sim::ms(ckpt_interval_ms);
     options.checkpoint.granularity = ckpt_granularity;
     options.migration.precopy = true;
+    if (!trace_out.empty() || !journal_out.empty()) {
+      options.hub = &hub;
+      options.phase_accounting = true;
+    }
     (void)metrics::run_cluster(suite, sequences[0], options,
-                               sim::seconds(36000.0), &telemetry);
-    telemetry.info().config.emplace_back("bench", "ext_fault_resilience");
-    telemetry.info().config.emplace_back("mode", "ckpt-delta+precopy");
-    telemetry.write_outputs(metrics_out);
-    std::cout << "Telemetry written to " << metrics_out
-              << ".{prom,jsonl,report.json}\n";
+                               sim::seconds(36000.0),
+                               metrics_out.empty() ? nullptr : &telemetry);
+    if (!metrics_out.empty()) {
+      telemetry.info().config.emplace_back("bench", "ext_fault_resilience");
+      telemetry.info().config.emplace_back("mode", "ckpt-delta+precopy");
+      telemetry.write_outputs(metrics_out);
+      std::cout << "Telemetry written to " << metrics_out
+                << ".{prom,jsonl,report.json}\n";
+    }
+    if (!trace_out.empty()) {
+      hub.write_chrome_trace_file(trace_out);
+      std::cout << "Chrome trace written to " << trace_out << "\n";
+    }
+    if (!journal_out.empty()) {
+      hub.write_journal_file(journal_out);
+      std::cout << "Run journal written to " << journal_out << "\n";
+    }
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "apps/benchmarks.h"
 #include "metrics/sweep.h"
 #include "obs/telemetry.h"
+#include "obs/trace_hub.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -133,19 +134,41 @@ int main(int argc, char** argv) {
   // control plane (VersaSlot boards, D_switch loop, Aurora link) with the
   // metrics registry bound and the sampler running, then export. The grid
   // above is untouched — sweep replicas never carry telemetry.
-  if (std::string out = obs::resolve_metrics_out(&args); !out.empty()) {
+  const std::string metrics_out = obs::resolve_metrics_out(&args);
+  const std::string trace_out = obs::resolve_trace_out(&args);
+  const std::string journal_out = obs::resolve_journal_out(&args);
+  if (!metrics_out.empty() || !trace_out.empty() || !journal_out.empty()) {
     workload::WorkloadConfig config;
     config.congestion = workload::Congestion::kStress;
     config.apps_per_sequence = kAppsPerSequence;
     auto sequences = workload::generate_sequences(config, 1, kMasterSeed);
     obs::Telemetry telemetry;
-    (void)metrics::run_cluster(suite, sequences[0], {},
-                               sim::seconds(36000.0), &telemetry);
-    telemetry.info().config.emplace_back("figure", "fig5");
-    telemetry.info().config.emplace_back("congestion", "Stress");
-    telemetry.write_outputs(out);
-    std::cout << "Telemetry written to " << out
-              << ".{prom,jsonl,report.json}\n";
+    obs::ClusterTraceHub hub;
+    hub.enable_trace(!trace_out.empty());
+    hub.enable_journal(!journal_out.empty());
+    cluster::ClusterOptions options;
+    if (!trace_out.empty() || !journal_out.empty()) {
+      options.hub = &hub;
+      options.phase_accounting = true;
+    }
+    (void)metrics::run_cluster(suite, sequences[0], options,
+                               sim::seconds(36000.0),
+                               metrics_out.empty() ? nullptr : &telemetry);
+    if (!metrics_out.empty()) {
+      telemetry.info().config.emplace_back("figure", "fig5");
+      telemetry.info().config.emplace_back("congestion", "Stress");
+      telemetry.write_outputs(metrics_out);
+      std::cout << "Telemetry written to " << metrics_out
+                << ".{prom,jsonl,report.json}\n";
+    }
+    if (!trace_out.empty()) {
+      hub.write_chrome_trace_file(trace_out);
+      std::cout << "Chrome trace written to " << trace_out << "\n";
+    }
+    if (!journal_out.empty()) {
+      hub.write_journal_file(journal_out);
+      std::cout << "Run journal written to " << journal_out << "\n";
+    }
   }
   return 0;
 }

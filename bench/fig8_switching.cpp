@@ -21,6 +21,7 @@
 #include "apps/benchmarks.h"
 #include "metrics/experiment.h"
 #include "obs/telemetry.h"
+#include "obs/trace_hub.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -37,6 +38,16 @@ int main(int argc, char** argv) {
   // Aurora migrations the figure is about.
   const std::string metrics_out = obs::resolve_metrics_out(&args);
   obs::Telemetry telemetry;
+  // Causal trace / run journal capture (--trace-out FILE or VS_TRACE,
+  // --journal-out FILE or VS_JOURNAL) rides the same first with-switching
+  // run; either flag also turns on response-time phase accounting there.
+  // The committed figure series never read these.
+  const std::string trace_out = obs::resolve_trace_out(&args);
+  const std::string journal_out = obs::resolve_journal_out(&args);
+  obs::ClusterTraceHub hub;
+  hub.enable_trace(!trace_out.empty());
+  hub.enable_journal(!journal_out.empty());
+  const bool observe = !trace_out.empty() || !journal_out.empty();
   // Round cap for the pre-copy comparison runs (--precopy-rounds N or
   // VS_PRECOPY_ROUNDS); the committed figure series never read it.
   const int precopy_rounds = static_cast<int>(
@@ -75,8 +86,13 @@ int main(int argc, char** argv) {
 
     obs::Telemetry* capture =
         (w == 0 && !metrics_out.empty()) ? &telemetry : nullptr;
+    cluster::ClusterOptions run_options = options;
+    if (w == 0 && observe) {
+      run_options.hub = &hub;
+      run_options.phase_accounting = true;
+    }
     metrics::ClusterRunResult with_sw =
-        metrics::run_cluster(suite, seq, options, sim::seconds(36000.0),
+        metrics::run_cluster(suite, seq, run_options, sim::seconds(36000.0),
                              capture);
     cluster::ClusterOptions off = options;
     off.enable_switching = false;
@@ -220,6 +236,14 @@ int main(int argc, char** argv) {
     telemetry.write_outputs(metrics_out);
     std::cout << "Telemetry written to " << metrics_out
               << ".{prom,jsonl,report.json}\n";
+  }
+  if (!trace_out.empty()) {
+    hub.write_chrome_trace_file(trace_out);
+    std::cout << "Chrome trace written to " << trace_out << "\n";
+  }
+  if (!journal_out.empty()) {
+    hub.write_journal_file(journal_out);
+    std::cout << "Run journal written to " << journal_out << "\n";
   }
   return 0;
 }

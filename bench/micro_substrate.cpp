@@ -19,6 +19,8 @@
 #include "apps/bundling.h"
 #include "metrics/experiment.h"
 #include "obs/metrics.h"
+#include "obs/trace_hub.h"
+#include "runtime/board_runtime.h"
 #include "sim/core.h"
 #include "sim/event_queue.h"
 #include "sim/sharded.h"
@@ -226,6 +228,71 @@ void BM_MetricsOverhead(benchmark::State& state) {
   state.counters["allocs_per_event"] = steady_allocs / (10.0 * kEvents);
 }
 BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
+
+/// The tick chain with the causal-observability guards on the hot path:
+/// the phase-accounting branch (one bool test; enabled, an integer-ns
+/// charge into a per-phase account — the bookkeeping BoardRuntime does on
+/// every state change) and the hub-channel branch (one null-pointer test;
+/// bound, the trace_on()/journal_on() gates that rare lifecycle sites
+/// check before emitting). Arg(0) is the shipping default — accounting
+/// off, no hub — and must hold the BM_SimulatorEventRate event rate
+/// (<=3% overhead, pinned by scripts/bench_substrate.sh into
+/// BENCH_substrate.json). Arg(1) enables accounting and binds a channel
+/// with both streams dark, the instrumented-run steady state between
+/// lifecycle events. Both paths must stay allocation-free.
+struct PhasedLoop {
+  sim::Simulator* sim = nullptr;
+  int remaining = 0;
+  bool acct = false;
+  obs::TraceChannel* obs = nullptr;
+  sim::SimTime mark = 0;
+  std::array<sim::SimDuration, runtime::kAppPhaseCount> account{};
+  void tick() {
+    if (acct) {
+      account[static_cast<std::size_t>(remaining) %
+              runtime::kAppPhaseCount] += sim->now() - mark;
+      mark = sim->now();
+    }
+    if (obs != nullptr && (obs->trace_on() || obs->journal_on())) {
+      obs->journal(sim->now(), obs::JournalEvent::kBind, "bench");
+    }
+    if (--remaining > 0) {
+      sim->schedule(100, [this] { tick(); });
+    }
+  }
+};
+
+void BM_PhaseAccountingOverhead(benchmark::State& state) {
+  constexpr int kEvents = 10000;
+  const bool enabled = state.range(0) != 0;
+  obs::ClusterTraceHub hub;  // streams stay dark: guard cost only
+  sim::Simulator sim;
+  PhasedLoop loop{&sim};
+  if (enabled) {
+    loop.acct = true;
+    loop.obs = &hub.channel("bench");
+  }
+  auto run_chain = [&] {
+    loop.remaining = kEvents;
+    loop.mark = sim.now();
+    sim.schedule(0, [&loop] { loop.tick(); });
+    sim.run();
+  };
+  run_chain();  // warm the queue's slab and node heap
+
+  std::int64_t probe_before = alloc_calls();
+  for (int rep = 0; rep < 10; ++rep) run_chain();
+  double steady_allocs = static_cast<double>(alloc_calls() - probe_before);
+
+  for (auto _ : state) {
+    run_chain();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  benchmark::DoNotOptimize(loop.account);
+  state.SetItemsProcessed(state.iterations() * kEvents);
+  state.counters["allocs_per_event"] = steady_allocs / (10.0 * kEvents);
+}
+BENCHMARK(BM_PhaseAccountingOverhead)->Arg(0)->Arg(1);
 
 void BM_PcapQueueing(benchmark::State& state) {
   for (auto _ : state) {

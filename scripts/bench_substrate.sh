@@ -17,6 +17,10 @@
 # BM_MetricsOverhead/0 (registry disabled — null handles, the shipping
 # default) must stay within 3% of the BM_SimulatorEventRate event rate,
 # and both /0 and /1 (registry bound) must keep allocs_per_event at 0.
+# BM_PhaseAccountingOverhead pins the phase-accounting + hub-channel
+# guards the same way: /0 (accounting off, no hub — the shipping default)
+# must hold the BM_SimulatorEventRate rate within 3%, and both /0 and /1
+# must keep allocs_per_event at 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +31,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target micro_substrate >/dev/null
 
 ./build/bench/micro_substrate \
-  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_ShardedKernelEventRate|BM_MetricsOverhead|BM_PcapQueueing' \
+  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_ShardedKernelEventRate|BM_MetricsOverhead|BM_PhaseAccountingOverhead|BM_PcapQueueing' \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_substrate.json \

@@ -26,7 +26,7 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== substrate micro-bench smoke (zero-alloc probe) =="
 cmake --build build -j "$JOBS" --target micro_substrate
 ./build/bench/micro_substrate \
-  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_MetricsOverhead' \
+  --benchmark_filter='BM_EventQueueScheduleAndPop|BM_SimulatorEventRate|BM_MetricsOverhead|BM_PhaseAccountingOverhead' \
   --benchmark_min_time=0.01
 
 echo "== telemetry demo smoke (dashboard + exporters) =="
@@ -62,6 +62,20 @@ grep -q 'reason="empty"' build/ckpt_smoke.prom
 grep -q 'vs_migration_rounds_total' build/ckpt_smoke.prom
 grep -q 'vs_migration_downtime_ms' build/ckpt_smoke.prom
 
+echo "== causal trace + journal smoke (flow events, phases, journal) =="
+# A faulted traced replay must emit cross-board flow events (crash ->
+# evacuation -> readmission arrows), the phase histograms, and a
+# structured journal with the crash recorded.
+./build/bench/ext_fault_resilience --apps 12 --seqs 1 \
+  --metrics-out build/trace_smoke --trace-out build/trace_smoke.json \
+  --journal-out build/trace_smoke.jsonl >/dev/null
+grep -q '"ph":"s"' build/trace_smoke.json
+grep -q '"ph":"f"' build/trace_smoke.json
+grep -q 'vs_app_phase_ms' build/trace_smoke.prom
+grep -q '"phases": \[' build/trace_smoke.report.json
+grep -q '"event":"crash"' build/trace_smoke.jsonl
+grep -q '"event":"readmit"' build/trace_smoke.jsonl
+
 echo "== sharded kernel equivalence smoke (serial vs 4 workers) =="
 cmake --build build -j "$JOBS" --target ext_cluster_scale
 ./build/bench/ext_cluster_scale --apps 20 --seqs 1 --jobs 1 \
@@ -80,7 +94,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # goes under the race detector.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/versaslot_tests \
-    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*'
+    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*:*SerialAndShardedKernelsEmitIdenticalTraceAndJournal*'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -88,7 +102,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:TraceRecorderCapacity.*:TraceHub.*:RunJournal.*:PrometheusEscaping.*:PhaseAccounting.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*'
 fi
 
 if [[ "${SKIP_COV:-0}" != "1" ]]; then

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace_hub.h"
 #include "sim/sharded.h"
 #include "util/log.h"
 
@@ -61,10 +62,13 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
           obs::CounterHandle{&reg.counter("vs_migration_rounds_total")};
       m_precopy_bytes_ = obs::CounterHandle{
           &reg.counter("vs_migration_precopy_bytes_total")};
+      // Sub-ms buckets: pre-copy stop-and-copy downtime sits well below
+      // 1 ms and would be unresolvable in default_ms_bounds().
       m_migration_downtime_ms_ = obs::HistogramHandle{&reg.histogram(
-          "vs_migration_downtime_ms", obs::default_ms_bounds())};
+          "vs_migration_downtime_ms", obs::default_sub_ms_bounds())};
     }
   }
+  if (options_.hub != nullptr) obs_ = &options_.hub->channel("cluster");
   // Boards are built in a fixed order (OL0, BL0, OL1, BL1, ...) and board
   // k always gets shard tag k + 1 — under the serial kernel too, so both
   // kernels break equal-time event ties identically. Under a sharded
@@ -178,10 +182,19 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
     // the region geometry is shared with delta checkpointing.
     epoch->runtime->enable_dirty_tracking(options_.checkpoint.granularity);
   }
+  if (options_.phase_accounting) epoch->runtime->enable_phase_accounting();
   // Idempotent registration: a board reused across epochs resolves the same
   // cells, so its counters accumulate over the whole cluster run.
   if (options_.metrics != nullptr) {
     epoch->runtime->bind_metrics(*options_.metrics);
+  }
+  if (options_.hub != nullptr) {
+    // Every epoch's recorder merges into the board's process timeline; the
+    // board writes journal/flow records through its own channel (one writer
+    // per channel, created here — a coordinator serial phase).
+    options_.hub->attach_spans(board.name(), &epoch->runtime->trace());
+    if (options_.hub->trace_enabled()) epoch->runtime->trace().enable();
+    epoch->runtime->bind_observability(&options_.hub->channel(board.name()));
   }
   epochs_.push_back(std::move(epoch));
   return static_cast<int>(epochs_.size()) - 1;
@@ -415,6 +428,9 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
   }
 
   // Drain every active origin board; collect its migratable applications.
+  std::string origin_name =
+      epochs_[static_cast<std::size_t>(active_epochs_.front())]
+          ->board->name();
   std::vector<runtime::BoardRuntime::MigratedApp> migrated;
   for (int index : active_epochs_) {
     runtime::BoardRuntime& rt =
@@ -422,6 +438,12 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
     rt.stop_admission();
     auto part = rt.extract_migratable();
     migrated.insert(migrated.end(), part.begin(), part.end());
+  }
+  std::uint64_t flow = 0;
+  if (obs_ != nullptr && obs_->trace_on()) {
+    flow = obs_->new_flow_id();
+    obs_->flow(flow, obs::FlowPhase::kStart, sim_.now(), origin_name,
+               "migration", std::string("switch -> ") + config_name(target));
   }
 
   activate_pool(target);
@@ -440,6 +462,13 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
   switch_events_.push_back(event);
   m_switches_.add();
   m_migrated_apps_.add(event.apps_migrated);
+  if (obs_ != nullptr && obs_->journal_on()) {
+    obs_->journal(sim_.now(), obs::JournalEvent::kMigrate, origin_name, -1,
+                  {}, flow,
+                  std::string("whole-state -> ") + config_name(target) + ", " +
+                      std::to_string(migrated.size()) + " apps, " +
+                      std::to_string(event.bytes) + " B");
+  }
 
   VS_INFO << "cross-board switch -> " << config_name(target) << " (D=" << d
           << ", migrating " << migrated.size() << " apps, " << event.bytes
@@ -447,19 +476,21 @@ void Cluster::do_switch(core::SwitchLoop::Config target, double d) {
 
   sim::SimTime t0 = sim_.now();
   link_.transfer(event.bytes, [this, migrated = std::move(migrated), t0,
-                               event_index] {
+                               event_index, flow] {
     switch_events_[event_index].overhead = sim_.now() - t0;
     switch_events_[event_index].downtime = sim_.now() - t0;
+    bool flow_open = flow != 0;
     for (const auto& m : migrated) {
       const apps::AppSpec& spec =
           suite_.at(static_cast<std::size_t>(m.spec_index));
       runtime::BoardRuntime& rt = least_loaded_active();
-      if (m.progress.empty()) {
-        rt.submit(spec, m.spec_index, m.batch, m.arrival, m.item_interval);
-      } else {
-        rt.submit_with_progress(spec, m.spec_index, m.batch, m.arrival,
-                                m.progress, m.item_interval);
+      if (flow_open) {
+        // Close the causal arrow at the first resume on the destination.
+        obs_->flow(flow, obs::FlowPhase::kEnd, sim_.now(), rt.board().name(),
+                   "migration", "resume");
+        flow_open = false;
       }
+      rt.submit_migrated(spec, m, runtime::AppPhase::kMigration);
     }
   });
 }
@@ -471,6 +502,21 @@ void Cluster::begin_precopy(core::SwitchLoop::Config target, double d) {
   st->target = target;
   st->origins = active_epochs_;
   st->t0 = sim_.now();
+  if (obs_ != nullptr && obs_->trace_on()) {
+    st->flow = obs_->new_flow_id();
+    obs_->flow(st->flow, obs::FlowPhase::kStart, sim_.now(),
+               epochs_[static_cast<std::size_t>(st->origins.front())]
+                   ->board->name(),
+               "migration",
+               std::string("pre-copy -> ") + config_name(target));
+  }
+  if (obs_ != nullptr && obs_->journal_on()) {
+    obs_->journal(sim_.now(), obs::JournalEvent::kMigrate,
+                  epochs_[static_cast<std::size_t>(st->origins.front())]
+                      ->board->name(),
+                  -1, {}, st->flow,
+                  std::string("pre-copy -> ") + config_name(target));
+  }
   // The origins stop admitting but *keep executing* — that is the point of
   // pre-copy. New arrivals flow to the target pool immediately.
   for (int index : st->origins) {
@@ -508,6 +554,12 @@ void Cluster::precopy_round(std::shared_ptr<PrecopyState> st,
   st->streamed += bytes;
   m_migration_rounds_.add();
   m_precopy_bytes_.add(bytes);
+  if (st->flow != 0) {
+    obs_->flow(st->flow, obs::FlowPhase::kStep, sim_.now(), "cluster",
+               "precopy",
+               "round " + std::to_string(st->rounds) + " (" +
+                   std::to_string(bytes) + " B)");
+  }
   link_.transfer(bytes, [this, st] {
     // Round landed: the next payload is the footprint of apps that paused
     // since (first-time streams) plus the dirt already-streamed apps wrote
@@ -554,6 +606,12 @@ void Cluster::finish_precopy(std::shared_ptr<PrecopyState> st,
   event.stopcopy_bytes = 4096 + final_dirty;  // control message + residue
   event.bytes = st->streamed + event.stopcopy_bytes;
   m_migrated_apps_.add(event.apps_migrated);
+  if (st->flow != 0) {
+    obs_->flow(st->flow, obs::FlowPhase::kStep, sim_.now(), "cluster",
+               "precopy",
+               "stop-and-copy (" + std::to_string(event.stopcopy_bytes) +
+                   " B)");
+  }
   VS_INFO << "pre-copy stop-and-copy after " << st->rounds << " rounds ("
           << event.precopy_bytes << " streamed, " << event.stopcopy_bytes
           << " stop-copy bytes, " << event.apps_migrated << " apps)";
@@ -567,6 +625,7 @@ void Cluster::finish_precopy(std::shared_ptr<PrecopyState> st,
         done.overhead = sim_.now() - st->t0;
         m_migration_downtime_ms_.observe(sim::to_ms(done.downtime));
         precopy_active_ = false;
+        bool flow_open = st->flow != 0;
         for (MigratedApp& m : migrated) {
           // Target boards can crash while the residue is in flight (fault
           // plane): queue for re-admission rather than assert, exactly as
@@ -578,13 +637,12 @@ void Cluster::finish_precopy(std::shared_ptr<PrecopyState> st,
           }
           const apps::AppSpec& spec =
               suite_.at(static_cast<std::size_t>(m.spec_index));
-          if (m.progress.empty()) {
-            rt->submit(spec, m.spec_index, m.batch, m.arrival,
-                       m.item_interval);
-          } else {
-            rt->submit_with_progress(spec, m.spec_index, m.batch, m.arrival,
-                                     m.progress, m.item_interval);
+          if (flow_open) {
+            obs_->flow(st->flow, obs::FlowPhase::kEnd, sim_.now(),
+                       rt->board().name(), "migration", "resume");
+            flow_open = false;
           }
+          rt->submit_migrated(spec, m, runtime::AppPhase::kMigration);
         }
       });
 }
@@ -621,12 +679,25 @@ void Cluster::on_health_event(const faults::HealthEvent& e) {
                                       ->board == board;
                          }),
           active_epochs_.end());
+      std::uint64_t flow = 0;
+      if (obs_ != nullptr && obs_->trace_on()) {
+        flow = obs_->new_flow_id();
+        obs_->flow(flow, obs::FlowPhase::kStart, e.time, board->name(),
+                   "fault", "crash " + board->name());
+      }
+      if (obs_ != nullptr && obs_->journal_on()) {
+        obs_->journal(e.time, obs::JournalEvent::kCrash, board->name(), -1,
+                      {}, flow,
+                      std::to_string(evacuable.size() + killed.size()) +
+                          " displaced");
+      }
       // Recovery acts after the detection latency (heartbeat + decision).
       sim_.schedule(options_.recovery.detection_latency,
                     [this, evacuable = std::move(evacuable),
-                     killed = std::move(killed), crash_time = e.time]() mutable {
+                     killed = std::move(killed), crash_time = e.time,
+                     flow]() mutable {
                       handle_crash(std::move(evacuable), std::move(killed),
-                                   crash_time);
+                                   crash_time, flow);
                     });
       break;
     }
@@ -670,7 +741,11 @@ void Cluster::on_health_event(const faults::HealthEvent& e) {
 
 void Cluster::handle_crash(std::vector<MigratedApp> evacuable,
                            std::vector<MigratedApp> killed,
-                           sim::SimTime crash_time) {
+                           sim::SimTime crash_time, std::uint64_t flow) {
+  if (flow != 0) {
+    obs_->flow(flow, obs::FlowPhase::kStep, sim_.now(), "cluster",
+               "recovery", "detected");
+  }
   const RecoveryOptions& ro = options_.recovery;
   const int displaced =
       static_cast<int>(evacuable.size()) + static_cast<int>(killed.size());
@@ -720,6 +795,10 @@ void Cluster::handle_crash(std::vector<MigratedApp> evacuable,
     int shed = static_cast<int>(fresh.size()) - room;
     recovery_stats_.apps_shed += shed;
     m_shed_.add(shed);
+    if (obs_ != nullptr && obs_->journal_on()) {
+      obs_->journal(sim_.now(), obs::JournalEvent::kShed, "cluster", -1, {},
+                    flow, std::to_string(shed) + " apps");
+    }
     fresh.resize(static_cast<std::size_t>(room));
   }
   for (MigratedApp& m : fresh) keep.push_back(std::move(m));
@@ -782,7 +861,14 @@ void Cluster::handle_crash(std::vector<MigratedApp> evacuable,
   auto ticket = std::make_shared<CrashTicket>();
   ticket->crash_time = crash_time;
   ticket->remaining = static_cast<int>(keep.size());
-  link_.transfer(bytes, [this, keep = std::move(keep), ticket]() mutable {
+  ticket->flow = flow;
+  link_.transfer(bytes, [this, keep = std::move(keep), ticket,
+                         bytes]() mutable {
+    if (ticket->flow != 0) {
+      obs_->flow(ticket->flow, obs::FlowPhase::kStep, sim_.now(), "cluster",
+                 "recovery",
+                 "evacuation landed (" + std::to_string(bytes) + " B)");
+    }
     for (MigratedApp& m : keep) place_displaced(std::move(m), ticket);
   });
 }
@@ -796,13 +882,12 @@ void Cluster::place_displaced(MigratedApp app,
   }
   const apps::AppSpec& spec =
       suite_.at(static_cast<std::size_t>(app.spec_index));
-  if (app.progress.empty()) {
-    rt->submit(spec, app.spec_index, app.batch, app.arrival,
-               app.item_interval);
-  } else {
-    rt->submit_with_progress(spec, app.spec_index, app.batch, app.arrival,
-                             app.progress, app.item_interval);
+  if (ticket != nullptr && ticket->flow != 0 && !ticket->flow_done) {
+    obs_->flow(ticket->flow, obs::FlowPhase::kEnd, sim_.now(),
+               rt->board().name(), "recovery", "readmit");
+    ticket->flow_done = true;
   }
+  rt->submit_migrated(spec, app, runtime::AppPhase::kRecovery);
   m_evac_latency_.observe(sim::to_ms(sim_.now() - ticket->crash_time));
   finish_ticket(ticket);
   on_queue_update();
@@ -827,14 +912,18 @@ void Cluster::drain_readmit_queue() {
     m_readmitted_.add();
     const apps::AppSpec& spec =
         suite_.at(static_cast<std::size_t>(entry.app.spec_index));
-    if (entry.app.progress.empty()) {
-      rt->submit(spec, entry.app.spec_index, entry.app.batch,
-                 entry.app.arrival, entry.app.item_interval);
-    } else {
-      rt->submit_with_progress(spec, entry.app.spec_index, entry.app.batch,
-                               entry.app.arrival, entry.app.progress,
-                               entry.app.item_interval);
+    if (obs_ != nullptr && obs_->journal_on()) {
+      obs_->journal(sim_.now(), obs::JournalEvent::kReadmit,
+                    rt->board().name(), -1, spec.name,
+                    entry.ticket != nullptr ? entry.ticket->flow : 0);
     }
+    if (entry.ticket != nullptr && entry.ticket->flow != 0 &&
+        !entry.ticket->flow_done) {
+      obs_->flow(entry.ticket->flow, obs::FlowPhase::kEnd, sim_.now(),
+                 rt->board().name(), "recovery", "readmit");
+      entry.ticket->flow_done = true;
+    }
+    rt->submit_migrated(spec, entry.app, runtime::AppPhase::kRecovery);
     if (entry.ticket != nullptr) {
       m_evac_latency_.observe(sim::to_ms(sim_.now() - entry.ticket->crash_time));
       finish_ticket(entry.ticket);

@@ -32,6 +32,11 @@
 #include "runtime/checkpoint.h"
 #include "workload/generator.h"
 
+namespace vs::obs {
+class ClusterTraceHub;
+class TraceChannel;
+}  // namespace vs::obs
+
 namespace vs::cluster {
 
 /// Failure-recovery policy knobs (the RecoveryPolicy layer over the
@@ -133,6 +138,17 @@ struct ClusterOptions {
   /// inline windows); 0 (the default) runs the serial reference kernel.
   /// Ignored by the Cluster itself — it follows `sharded`.
   int kernel_workers = 0;
+  /// Cluster-wide causal observability (obs/trace_hub.h). Null (the
+  /// default) keeps tracing/journalling off and every output byte-identical.
+  /// When set, each board epoch's span recorder is attached (and enabled
+  /// when the hub's trace stream is), and boards plus the coordinator emit
+  /// journal records and cross-board flow events through their channels.
+  /// The hub must outlive the cluster.
+  obs::ClusterTraceHub* hub = nullptr;
+  /// Response-time phase accounting on every board epoch (see
+  /// runtime::AppPhase). Off (the default) keeps vs_app_phase_ms
+  /// unregistered and exports byte-identical.
+  bool phase_accounting = false;
 };
 
 /// The sharded kernel's conservative window depth for a cluster run: the
@@ -244,6 +260,7 @@ class Cluster {
     int rounds = 0;                    ///< streamed rounds so far
     std::int64_t first_round_bytes = 0;
     std::int64_t streamed = 0;         ///< bytes streamed so far
+    std::uint64_t flow = 0;            ///< causal flow id (0 = tracing off)
   };
   void begin_precopy(core::SwitchLoop::Config target, double d);
   void precopy_round(std::shared_ptr<PrecopyState> st, std::int64_t bytes);
@@ -263,6 +280,8 @@ class Cluster {
   struct CrashTicket {
     sim::SimTime crash_time = 0;
     int remaining = 0;
+    std::uint64_t flow = 0;   ///< crash→evac→readmit flow (0 = tracing off)
+    bool flow_done = false;   ///< flow terminus already emitted
   };
   using MigratedApp = runtime::BoardRuntime::MigratedApp;
   struct ReadmitEntry {
@@ -271,7 +290,8 @@ class Cluster {
   };
   void on_health_event(const faults::HealthEvent& e);
   void handle_crash(std::vector<MigratedApp> evacuable,
-                    std::vector<MigratedApp> killed, sim::SimTime crash_time);
+                    std::vector<MigratedApp> killed, sim::SimTime crash_time,
+                    std::uint64_t flow);
   void place_displaced(MigratedApp app,
                        const std::shared_ptr<CrashTicket>& ticket);
   void finish_ticket(const std::shared_ptr<CrashTicket>& ticket);
@@ -294,6 +314,8 @@ class Cluster {
   /// A pre-copy migration is streaming; further switches defer until its
   /// stop-and-copy lands (the origins are still mid-extraction).
   bool precopy_active_ = false;
+  /// Coordinator channel of options_.hub (null when no hub is attached).
+  obs::TraceChannel* obs_ = nullptr;
 
   // Fault plane (null when options.faults is disabled) and recovery state.
   std::unique_ptr<faults::FaultPlane> fault_plane_;

@@ -10,6 +10,7 @@
 #include "baselines/nimblock.h"
 #include "baselines/round_robin.h"
 #include "fpga/board.h"
+#include "obs/trace_hub.h"
 #include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "sim/trace_export.h"
@@ -140,10 +141,16 @@ RunResult run_single_board(SystemKind kind,
     e.runtime = std::make_unique<runtime::BoardRuntime>(board, *e.policy);
     e.runtime->trace().enable(options.record_trace);
     e.runtime->enable_checkpoints(options.checkpoint);
+    if (options.phase_accounting) e.runtime->enable_phase_accounting();
     if (options.telemetry != nullptr) {
       // Idempotent registration: every epoch resolves the same cells
       // (same board name), so counters accumulate over the whole run.
       e.runtime->bind_metrics(options.telemetry->registry());
+    }
+    if (options.hub != nullptr) {
+      options.hub->attach_spans(board.name(), &e.runtime->trace());
+      if (options.hub->trace_enabled()) e.runtime->trace().enable();
+      e.runtime->bind_observability(&options.hub->channel(board.name()));
     }
     epochs.push_back(std::move(e));
     return *epochs.back().runtime;
@@ -157,6 +164,7 @@ RunResult run_single_board(SystemKind kind,
   std::unique_ptr<faults::FaultPlane> plane;
   std::deque<runtime::BoardRuntime::MigratedApp> held;
   sim::SimTime last_crash_time = 0;
+  std::uint64_t crash_flow = 0;
   if (options.faults.enabled()) {
     plane = std::make_unique<faults::FaultPlane>(sim, options.faults);
     if (options.telemetry != nullptr) {
@@ -177,9 +185,25 @@ RunResult run_single_board(SystemKind kind,
               static_cast<int>(report.checkpointed.size());
           result.recovery.apps_restarted +=
               static_cast<int>(report.killed.size());
+          std::size_t displaced = report.evacuable.size() +
+                                  report.checkpointed.size() +
+                                  report.killed.size();
           for (auto& m : report.evacuable) held.push_back(std::move(m));
           for (auto& m : report.checkpointed) held.push_back(std::move(m));
           for (auto& m : report.killed) held.push_back(std::move(m));
+          if (options.hub != nullptr) {
+            obs::TraceChannel& ch = options.hub->channel(board.name());
+            if (ch.trace_on()) {
+              crash_flow = ch.new_flow_id();
+              ch.flow(crash_flow, obs::FlowPhase::kStart, e.time,
+                      board.name(), "fault", "crash " + board.name());
+            }
+            if (ch.journal_on()) {
+              ch.journal(e.time, obs::JournalEvent::kCrash, board.name(), -1,
+                         {}, crash_flow,
+                         std::to_string(displaced) + " displaced");
+            }
+          }
           break;
         }
         case faults::FaultKind::kBoardReboot: {
@@ -194,14 +218,19 @@ RunResult run_single_board(SystemKind kind,
             ++result.recovery.readmissions;
             const apps::AppSpec& spec =
                 suite.at(static_cast<std::size_t>(m.spec_index));
-            if (m.progress.empty()) {
-              fresh.submit(spec, m.spec_index, m.batch, m.arrival,
-                           m.item_interval);
-            } else {
-              fresh.submit_with_progress(spec, m.spec_index, m.batch,
-                                         m.arrival, m.progress,
-                                         m.item_interval);
+            if (options.hub != nullptr) {
+              obs::TraceChannel& ch = options.hub->channel(board.name());
+              if (ch.journal_on()) {
+                ch.journal(sim.now(), obs::JournalEvent::kReadmit,
+                           board.name(), -1, spec.name, crash_flow);
+              }
+              if (crash_flow != 0) {
+                ch.flow(crash_flow, obs::FlowPhase::kEnd, sim.now(),
+                        board.name(), "recovery", "readmit");
+                crash_flow = 0;
+              }
             }
+            fresh.submit_migrated(spec, m, runtime::AppPhase::kRecovery);
           }
           // MTTR on one board: crash to re-admission (re-admission happens
           // at reboot, so the repair window is detection-free downtime).
@@ -261,6 +290,9 @@ RunResult run_single_board(SystemKind kind,
   if (options.record_trace && !options.trace_path.empty()) {
     sim::write_chrome_trace_file(spans, options.trace_path);
   }
+  // Snapshot span logs into the hub before the epochs are torn down so the
+  // caller can export after this function returns.
+  if (options.hub != nullptr) options.hub->seal();
   result.completed = static_cast<int>(result.apps.size());
   result.response = util::summarize(result.response_ms);
   if (plane != nullptr) {
@@ -344,6 +376,7 @@ ClusterRunResult run_cluster(const std::vector<apps::AppSpec>& suite,
     if (telemetry != nullptr) telemetry->start_sampling(kernel.global());
     cluster.submit_sequence(sequence);
     kernel.run(time_limit);
+    if (cluster_options.hub != nullptr) cluster_options.hub->seal();
     return collect_cluster_result(cluster, kernel.global().now(),
                                   kernel.events_executed());
   }
@@ -352,6 +385,7 @@ ClusterRunResult run_cluster(const std::vector<apps::AppSpec>& suite,
   if (telemetry != nullptr) telemetry->start_sampling(sim);
   cluster.submit_sequence(sequence);
   sim.run(time_limit);
+  if (cluster_options.hub != nullptr) cluster_options.hub->seal();
   return collect_cluster_result(cluster, sim.now(), sim.events_executed());
 }
 

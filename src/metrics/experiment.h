@@ -92,6 +92,16 @@ struct RunOptions {
   /// runs only — parallel sweep jobs must leave this null (one registry
   /// cannot be shared across replica threads).
   obs::Telemetry* telemetry = nullptr;
+  /// Causal trace / journal hub (obs/trace_hub.h); null (the default)
+  /// disables flow + journal emission entirely. When set, the harness
+  /// attaches every board epoch's span recorder and binds the runtime to a
+  /// per-board channel. Same single-run restriction as `telemetry`.
+  obs::ClusterTraceHub* hub = nullptr;
+  /// Decomposes every app's response time into queue-wait / reconfig /
+  /// exec / paused / migration / recovery phases (board_runtime.h) and
+  /// exports vs_app_phase_ms histograms when telemetry is bound. Off by
+  /// default so instrument-free runs stay byte-identical.
+  bool phase_accounting = false;
   /// Fault injection: the full scenario (PCAP CRC via stream "pcap/0",
   /// board crashes, slot SEUs, scripted timeline) drives a FaultPlane with
   /// this board registered as plane board 0. A crash freezes the live

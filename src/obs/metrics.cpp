@@ -49,6 +49,11 @@ std::vector<double> default_ms_bounds() {
           30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0};
 }
 
+std::vector<double> default_sub_ms_bounds() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+          0.2,   0.5,   1.0,   2.0,  5.0,  10.0, 100.0, 1000.0};
+}
+
 std::vector<double> default_count_bounds() {
   return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0};
 }

@@ -89,6 +89,11 @@ class Histogram {
 /// logarithmic — wide enough for PCAP waits and whole-app response times.
 [[nodiscard]] std::vector<double> default_ms_bounds();
 
+/// Latency buckets in milliseconds spanning 1 us .. 1 s, roughly
+/// logarithmic — for sub-millisecond events such as pre-copy stop-and-copy
+/// downtime, which default_ms_bounds() lumps into its bottom bucket.
+[[nodiscard]] std::vector<double> default_sub_ms_bounds();
+
 /// Count buckets spanning 1 .. 1000, roughly logarithmic — for discrete
 /// volumes such as items restored from a checkpoint or queue depths.
 [[nodiscard]] std::vector<double> default_count_bounds();

@@ -37,15 +37,30 @@ void Telemetry::write_outputs(const std::string& prefix) const {
   }
 }
 
-std::string resolve_metrics_out(const util::CliArgs* args) {
-  if (args != nullptr && args->has("metrics-out")) {
-    return args->get("metrics-out");
-  }
-  if (const char* env = std::getenv("VS_METRICS");
+namespace {
+
+std::string resolve_out(const util::CliArgs* args, const char* flag,
+                        const char* env_var) {
+  if (args != nullptr && args->has(flag)) return args->get(flag);
+  if (const char* env = std::getenv(env_var);
       env != nullptr && *env != '\0') {
     return env;
   }
   return {};
+}
+
+}  // namespace
+
+std::string resolve_metrics_out(const util::CliArgs* args) {
+  return resolve_out(args, "metrics-out", "VS_METRICS");
+}
+
+std::string resolve_trace_out(const util::CliArgs* args) {
+  return resolve_out(args, "trace-out", "VS_TRACE");
+}
+
+std::string resolve_journal_out(const util::CliArgs* args) {
+  return resolve_out(args, "journal-out", "VS_JOURNAL");
 }
 
 }  // namespace vs::obs

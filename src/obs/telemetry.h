@@ -67,4 +67,12 @@ class Telemetry {
 /// telemetry stays off. Pass null args to consult the environment only.
 [[nodiscard]] std::string resolve_metrics_out(const util::CliArgs* args);
 
+/// Chrome-trace output path: `--trace-out` flag, then VS_TRACE. Empty means
+/// cluster tracing stays off.
+[[nodiscard]] std::string resolve_trace_out(const util::CliArgs* args);
+
+/// Run-journal output path: `--journal-out` flag, then VS_JOURNAL. Empty
+/// means the journal stays off.
+[[nodiscard]] std::string resolve_journal_out(const util::CliArgs* args);
+
 }  // namespace vs::obs

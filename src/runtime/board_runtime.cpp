@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace_hub.h"
 #include "util/log.h"
 
 namespace vs::runtime {
+
+const char* to_string(AppPhase p) noexcept {
+  switch (p) {
+    case AppPhase::kQueueWait: return "queue_wait";
+    case AppPhase::kReconfig: return "reconfig";
+    case AppPhase::kExec: return "exec";
+    case AppPhase::kPaused: return "paused";
+    case AppPhase::kMigration: return "migration";
+    case AppPhase::kRecovery: return "recovery";
+  }
+  return "unknown";
+}
 
 fpga::BitstreamKey unit_bitstream_key(int spec_index,
                                       const apps::UnitSpec& unit,
@@ -50,6 +63,18 @@ void BoardRuntime::bind_metrics(obs::MetricsRegistry& registry) {
       "vs_app_response_ms", obs::default_ms_bounds(), labels)};
   m_item_ms_ = obs::HistogramHandle{&registry.histogram(
       "vs_runtime_item_ms", obs::default_ms_bounds(), labels)};
+  if (phase_acct_) {
+    // Registered only when phase accounting is on, so phase-free exports
+    // stay byte-identical.
+    for (std::size_t p = 0; p < kAppPhaseCount; ++p) {
+      obs::Labels phase_labels = labels;
+      phase_labels.emplace_back("phase",
+                                to_string(static_cast<AppPhase>(p)));
+      m_phase_ms_[p] = obs::HistogramHandle{
+          &registry.histogram("vs_app_phase_ms", obs::default_ms_bounds(),
+                              std::move(phase_labels))};
+    }
+  }
   if (ckpt_.active()) {
     // Registered only when checkpointing is on, so checkpoint-free exports
     // stay byte-identical.
@@ -90,6 +115,29 @@ void BoardRuntime::bind_metrics(obs::MetricsRegistry& registry) {
   refresh_slot_gauges();
 }
 
+AppPhase BoardRuntime::classify(const AppRun& a) const noexcept {
+  // Precedence: an app with any item executing is making progress (kExec)
+  // even while another unit reconfigures; reconfig next; an app that never
+  // issued a PR is still queued; otherwise it is configured-or-preempted
+  // and waiting between items.
+  bool reconfiguring = false;
+  for (const UnitRun& u : a.units) {
+    if (u.item_in_flight) return AppPhase::kExec;
+    reconfiguring |= u.state == UnitState::kReconfiguring;
+  }
+  if (reconfiguring) return AppPhase::kReconfig;
+  if (!a.started) return AppPhase::kQueueWait;
+  return AppPhase::kPaused;
+}
+
+void BoardRuntime::touch_phase(AppRun& a) {
+  if (!phase_acct_ || a.done()) return;
+  sim::SimTime now = sim().now();
+  a.phase_ns[static_cast<std::size_t>(a.phase)] += now - a.phase_since;
+  a.phase_since = now;
+  a.phase = classify(a);
+}
+
 void BoardRuntime::refresh_slot_gauges() {
   if (!metrics_bound_) return;
   std::array<int, 4> counts{};
@@ -121,9 +169,19 @@ int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
   auto units = apps::make_little_units(spec);
   app.units.reserve(units.size());
   for (auto& u : units) app.units.push_back(UnitRun{std::move(u)});
+  // The phase chain starts at *arrival*, not admission: any gap between the
+  // two (a resubmission, a held arrival) is re-attributed by
+  // submit_migrated, and for fresh arrivals the two coincide, so phases
+  // always sum to completed - arrival.
+  app.phase = AppPhase::kQueueWait;
+  app.phase_since = app.arrival;
   apps_.push_back(std::move(app));
   int id = apps_.back().id;
   init_dirty(apps_.back());
+  if (obs_ && obs_->journal_on()) {
+    obs_->journal(sim().now(), obs::JournalEvent::kAdmit, board_.name(), id,
+                  spec.name, 0, "batch " + std::to_string(batch));
+  }
   policy_.on_app_submitted(*this, id);
   arm_checkpoint();
   kick();
@@ -324,7 +382,9 @@ void BoardRuntime::checkpoint_pass() {
       upstream_done = u.items_done;
     }
     std::int64_t bytes;
+    bool is_delta = false;
     if (delta_mode && a.ckpt_time >= 0 && a.ckpt_chain < ckpt_.compact_every) {
+      is_delta = true;
       // Delta snapshot: copy only the regions written since the last pass,
       // chained onto the current base.
       DirtyMap::Drain d = a.dirty.take(DirtyMap::kCheckpoint);
@@ -363,6 +423,26 @@ void BoardRuntime::checkpoint_pass() {
     counters_.ckpt_bytes += bytes;
     m_ckpt_snapshots_.add();
     m_ckpt_bytes_.add(bytes);
+    if (obs_ && obs_->trace_on()) {
+      // Causal chain base → delta* → restore: the first base starts the
+      // flow, every later snapshot (delta or compaction) is a step; a
+      // crash restore on another board closes it.
+      if (a.ckpt_flow == 0) {
+        a.ckpt_flow = obs_->new_flow_id();
+        obs_->flow(a.ckpt_flow, obs::FlowPhase::kStart, sim().now(),
+                   board_.name(), "ckpt",
+                   "ckpt " + a.spec->name + "#" + std::to_string(a.id));
+      } else {
+        obs_->flow(a.ckpt_flow, obs::FlowPhase::kStep, sim().now(),
+                   board_.name(), "ckpt", is_delta ? "ckpt delta" : "ckpt base");
+      }
+    }
+    if (obs_ && obs_->journal_on()) {
+      obs_->journal(sim().now(), obs::JournalEvent::kCheckpoint,
+                    board_.name(), a.id, a.spec->name, a.ckpt_flow,
+                    std::string(is_delta ? "delta " : "base ") +
+                        std::to_string(bytes) + " B");
+    }
   }
   // Charge the DDR-to-DDR copies on the scheduler core: launches and
   // passes queue behind them, so the checkpoint cost is visible in
@@ -458,9 +538,16 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
   u.slot = slot_id;
   u.pr_was_blocked = false;
   a.started = true;
+  touch_phase(a);
   ++counters_.pr_requests;
   m_pr_requests_.add();
   refresh_slot_gauges();
+  if (obs_ && obs_->journal_on()) {
+    obs_->journal(sim().now(), obs::JournalEvent::kBind, board_.name(),
+                  app_id, a.spec->name, 0,
+                  "unit " + std::to_string(unit_index) + " slot " +
+                      std::to_string(slot_id));
+  }
 
   const fpga::BoardParams& p = board_.params();
   // The bare-metal PR flow runs entirely on the issuing core: read the
@@ -501,11 +588,13 @@ void BoardRuntime::request_pr(int app_id, int unit_index, int slot_id) {
           board_.slot(u2.slot).release();
           u2.state = UnitState::kPending;
           u2.slot = -1;
+          touch_phase(a2);
           refresh_slot_gauges();
           board_.ocm().post([this] { kick(); });
           return;
         }
         u2.state = UnitState::kRunning;
+        touch_phase(a2);
         refresh_slot_gauges();
         if (trace_.enabled()) {
           trace_.add(requested, sim().now(), board_.slot(u2.slot).name(),
@@ -547,6 +636,7 @@ void BoardRuntime::request_full_reconfig(int app_id) {
     u.state = UnitState::kReconfiguring;
     u.slot = -2;
   }
+  touch_phase(a);
   const fpga::BoardParams& p = board_.params();
   fpga::BitstreamKey key =
       unit_bitstream_key(a.spec_index, a.units.front().spec, 0) |
@@ -562,6 +652,7 @@ void BoardRuntime::request_full_reconfig(int app_id) {
         AppRun& a2 = app(app_id);
         touch_utilization();
         for (UnitRun& u : a2.units) u.state = UnitState::kRunning;
+        touch_phase(a2);
         if (trace_.enabled()) {
           trace_.add(requested, sim().now(), "fabric",
                      a2.spec->name + "#" + std::to_string(app_id) + " full",
@@ -586,9 +677,34 @@ void BoardRuntime::preempt_unit(int app_id, int unit_index) {
   board_.slot(u.slot).release();
   u.state = UnitState::kPending;
   u.slot = -1;
+  touch_phase(a);
   ++counters_.preemptions;
   m_preemptions_.add();
   refresh_slot_gauges();
+  if (obs_ && obs_->journal_on()) {
+    obs_->journal(sim().now(), obs::JournalEvent::kPreempt, board_.name(),
+                  app_id, a.spec->name, 0,
+                  "unit " + std::to_string(unit_index));
+  }
+}
+
+void BoardRuntime::apply_progress(AppRun& a,
+                                  const std::vector<int>& items_done) {
+  assert(items_done.size() == a.units.size() &&
+         "progress vector must cover every task");
+  int upstream = a.batch;
+  for (std::size_t i = 0; i < items_done.size(); ++i) {
+    int done = items_done[i];
+    assert(done >= 0 && done <= a.batch && done <= upstream &&
+           "progress must be monotone non-increasing along the pipeline");
+    upstream = done;
+    UnitRun& u = a.units[i];
+    u.items_done = done;
+    if (done >= a.batch) u.state = UnitState::kFinished;
+  }
+  // Mark started so policies neither re-unitise nor rebind the app: its
+  // per-task progress pins the Little decomposition.
+  a.started = true;
 }
 
 int BoardRuntime::submit_with_progress(const apps::AppSpec& spec,
@@ -598,21 +714,41 @@ int BoardRuntime::submit_with_progress(const apps::AppSpec& spec,
                                        sim::SimDuration item_interval) {
   int id = submit(spec, spec_index, batch, arrival, item_interval);
   AppRun& a = app(id);
-  assert(items_done.size() == a.units.size() &&
-         "progress vector must cover every task");
-  int upstream = batch;
-  for (std::size_t i = 0; i < items_done.size(); ++i) {
-    int done = items_done[i];
-    assert(done >= 0 && done <= batch && done <= upstream &&
-           "progress must be monotone non-increasing along the pipeline");
-    upstream = done;
-    UnitRun& u = a.units[i];
-    u.items_done = done;
-    if (done >= batch) u.state = UnitState::kFinished;
+  apply_progress(a, items_done);
+  touch_phase(a);
+  check_app_complete(a);
+  kick();
+  return id;
+}
+
+int BoardRuntime::submit_migrated(const apps::AppSpec& spec,
+                                  const MigratedApp& m, AppPhase transit) {
+  int id = submit(spec, m.spec_index, m.batch, m.arrival, m.item_interval);
+  AppRun& a = app(id);
+  if (!m.progress.empty()) apply_progress(a, m.progress);
+  if (phase_acct_) {
+    // Restore the carried account and charge the off-board interval to the
+    // transit phase — from extraction when the origin recorded one, from
+    // arrival for fabricated descriptors (held arrivals never admitted
+    // anywhere). Restored *before* check_app_complete so an app that
+    // arrives finished closes against the true account.
+    a.phase_ns = m.phase_ns;
+    sim::SimTime from = m.extracted >= 0 ? m.extracted : a.arrival;
+    a.phase_ns[static_cast<std::size_t>(transit)] += sim().now() - from;
+    a.phase_since = sim().now();
+    a.phase = classify(a);
   }
-  // Mark started so policies neither re-unitise nor rebind the app: its
-  // per-task progress pins the Little decomposition.
-  a.started = true;
+  if (m.ckpt_flow != 0 && obs_ && obs_->trace_on()) {
+    obs_->flow(m.ckpt_flow, obs::FlowPhase::kEnd, sim().now(), board_.name(),
+               "ckpt", "restore " + spec.name + "#" + std::to_string(id));
+  }
+  if (obs_ && obs_->journal_on()) {
+    obs_->journal(sim().now(), obs::JournalEvent::kRestore, board_.name(),
+                  id, spec.name, m.ckpt_flow,
+                  m.from_checkpoint
+                      ? "from checkpoint"
+                      : (m.progress.empty() ? "descriptor" : "live progress"));
+  }
   check_app_complete(a);
   kick();
   return id;
@@ -654,7 +790,12 @@ std::vector<BoardRuntime::MigratedApp> BoardRuntime::extract_unstarted() {
   std::vector<MigratedApp> out;
   for (AppRun& a : apps_) {
     if (a.spec == nullptr || a.started || a.done()) continue;
-    out.push_back(migrated_descriptor(a));
+    touch_phase(a);
+    MigratedApp m = migrated_descriptor(a);
+    m.phase_ns = a.phase_ns;
+    m.extracted = sim().now();
+    m.ckpt_flow = a.ckpt_flow;
+    out.push_back(std::move(m));
     a.spec = nullptr;  // tombstone: extracted
   }
   return out;
@@ -675,7 +816,12 @@ std::vector<BoardRuntime::MigratedApp> BoardRuntime::extract_migratable() {
                 !u.item_in_flight;
     }
     if (!paused) continue;
-    out.push_back(migrated_with_progress(a));
+    touch_phase(a);
+    MigratedApp m = migrated_with_progress(a);
+    m.phase_ns = a.phase_ns;
+    m.extracted = sim().now();
+    m.ckpt_flow = a.ckpt_flow;
+    out.push_back(std::move(m));
     a.spec = nullptr;  // tombstone: extracted
   }
   return out;
@@ -703,21 +849,32 @@ BoardRuntime::CrashReport BoardRuntime::crash() {
   // snapshot are truly lost: killed descriptors restart from scratch.
   for (AppRun& a : apps_) {
     if (a.spec == nullptr || a.done()) continue;
+    touch_phase(a);
     bool per_task =
         a.units.size() == static_cast<std::size_t>(a.spec->task_count());
     bool has_progress = false;
     for (const UnitRun& u : a.units) has_progress |= u.items_done > 0;
+    MigratedApp m;
     if (per_task && has_progress) {
-      report.evacuable.push_back(migrated_with_progress(a));
+      m = migrated_with_progress(a);
     } else if (a.ckpt_time >= 0) {
-      MigratedApp m = migrated_descriptor(a);
+      m = migrated_descriptor(a);
       m.progress = a.ckpt_progress;
       m.state_bytes = a.ckpt_bytes;
       m.from_checkpoint = true;
       m.ckpt_time = a.ckpt_time;
-      report.checkpointed.push_back(std::move(m));
     } else {
-      report.killed.push_back(migrated_descriptor(a));
+      m = migrated_descriptor(a);
+    }
+    m.phase_ns = a.phase_ns;
+    m.extracted = sim().now();
+    m.ckpt_flow = a.ckpt_flow;
+    if (m.from_checkpoint) {
+      report.checkpointed.push_back(std::move(m));
+    } else if (per_task && has_progress) {
+      report.evacuable.push_back(std::move(m));
+    } else {
+      report.killed.push_back(std::move(m));
     }
     a.spec = nullptr;  // tombstone: extracted by the crash
   }
@@ -771,6 +928,7 @@ void BoardRuntime::inject_slot_seu(int slot_id) {
   slot.release();
   unit->state = UnitState::kPending;
   unit->slot = -1;
+  touch_phase(a);
   refresh_slot_gauges();
   kick();
 }
@@ -836,6 +994,7 @@ void BoardRuntime::try_launches() {
 
 void BoardRuntime::launch_item(AppRun& app_ref, UnitRun& unit_ref) {
   unit_ref.item_in_flight = true;
+  touch_phase(app_ref);
   int app_id = app_ref.id;
   int unit_index = static_cast<int>(&unit_ref - app_ref.units.data());
   int item = unit_ref.items_done;
@@ -898,6 +1057,7 @@ void BoardRuntime::finish_item(int app_id, int unit_index) {
     if (u.slot >= 0) board_.slot(u.slot).release();
     u.state = UnitState::kPending;
     u.slot = -1;
+    touch_phase(a);
     refresh_slot_gauges();
     kick();
     return;
@@ -907,6 +1067,7 @@ void BoardRuntime::finish_item(int app_id, int unit_index) {
   ++counters_.items_executed;
   m_items_.add();
   if (u.items_done >= a.batch) finish_unit(u);
+  touch_phase(a);
   refresh_slot_gauges();
   check_app_complete(a);
   kick();
@@ -926,6 +1087,16 @@ void BoardRuntime::check_app_complete(AppRun& a) {
   for (const UnitRun& u : a.units) {
     if (u.state != UnitState::kFinished) return;
   }
+  if (phase_acct_) {
+    // Close the open interval against the current phase; after this the
+    // account sums exactly (in integer nanoseconds) to completed - arrival.
+    a.phase_ns[static_cast<std::size_t>(a.phase)] +=
+        sim().now() - a.phase_since;
+    a.phase_since = sim().now();
+    for (std::size_t p = 0; p < kAppPhaseCount; ++p) {
+      m_phase_ms_[p].observe(sim::to_ms(a.phase_ns[p]));
+    }
+  }
   a.completed = sim().now();
   ++counters_.apps_completed;
   m_apps_completed_.add();
@@ -935,9 +1106,15 @@ void BoardRuntime::check_app_complete(AppRun& a) {
     full_fabric_app_ = -1;
   }
   CompletedApp c{a.id, a.spec_index, a.spec->name, a.arrival, a.completed};
+  c.phase_ns = a.phase_ns;
   completed_.push_back(c);
   VS_DEBUG << board_.name() << ": " << c.name << "#" << a.id
            << " complete, response " << c.response_ms() << " ms";
+  if (obs_ && obs_->journal_on()) {
+    obs_->journal(sim().now(), obs::JournalEvent::kComplete, board_.name(),
+                  a.id, a.spec->name, 0,
+                  "response_ms " + std::to_string(c.response_ms()));
+  }
   if (on_app_complete_) on_app_complete_(c);
 }
 

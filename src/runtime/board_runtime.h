@@ -26,6 +26,10 @@
 #include "runtime/policy.h"
 #include "sim/trace.h"
 
+namespace vs::obs {
+class TraceChannel;
+}  // namespace vs::obs
+
 namespace vs::runtime {
 
 /// Packs a unit's identity into the bitstream-store key. DFX partial
@@ -53,6 +57,22 @@ struct UnitRun {
   bool pr_was_blocked = false; ///< this unit's last PR waited in the PCAP FIFO
   bool seu_poisoned = false;   ///< SEU hit mid-PR/mid-item: discard on finish
 };
+
+/// Response-time phases. Every nanosecond between an app's arrival and its
+/// completion is attributed to exactly one phase, so the per-app phase sums
+/// reconcile exactly with the response-time histogram (the invariant the
+/// PhaseAccounting property tests pin).
+enum class AppPhase : std::uint8_t {
+  kQueueWait,  ///< admitted (or still in transit) but never started
+  kReconfig,   ///< at least one unit mid-PR, none executing
+  kExec,       ///< at least one unit executing a batch item
+  kPaused,     ///< started, configured or preempted, nothing in flight
+  kMigration,  ///< in a migration transfer (D_switch / pre-copy stop-copy)
+  kRecovery,   ///< in a crash evacuation / restore / readmission path
+};
+inline constexpr std::size_t kAppPhaseCount = 6;
+
+[[nodiscard]] const char* to_string(AppPhase p) noexcept;
 
 struct AppRun {
   int id = -1;
@@ -82,6 +102,15 @@ struct AppRun {
   /// DDR dirty-region map; empty unless the board tracks dirty state
   /// (delta checkpointing and/or pre-copy migration).
   DirtyMap dirty;
+  /// Phase accounting (zero-cost unless enable_phase_accounting()):
+  /// nanoseconds attributed per phase, the phase the app is currently in,
+  /// and when it entered it. Carried across boards through MigratedApp.
+  std::array<sim::SimDuration, kAppPhaseCount> phase_ns{};
+  AppPhase phase = AppPhase::kQueueWait;
+  sim::SimTime phase_since = 0;
+  /// Causal flow id of this app's checkpoint base→delta→restore chain
+  /// (0 = none yet); only assigned when cluster tracing is on.
+  std::uint64_t ckpt_flow = 0;
 
   [[nodiscard]] bool done() const noexcept { return completed >= 0; }
 
@@ -152,6 +181,9 @@ struct CompletedApp {
   std::string name;
   sim::SimTime arrival;
   sim::SimTime completed;
+  /// Per-phase attribution; all zero unless phase accounting was enabled,
+  /// in which case the entries sum exactly to completed - arrival.
+  std::array<sim::SimDuration, kAppPhaseCount> phase_ns{};
   [[nodiscard]] double response_ms() const {
     return sim::to_ms(completed - arrival);
   }
@@ -269,6 +301,22 @@ class BoardRuntime {
     on_app_complete_ = std::move(fn);
   }
 
+  // -------------------------------------------------------- phase accounting
+  /// Enables response-time phase decomposition. Call before the first
+  /// submit and before bind_metrics — the vs_app_phase_ms instruments are
+  /// registered only when accounting is on, so phase-free exports stay
+  /// byte-identical. Off (the default), the per-event cost is one branch.
+  void enable_phase_accounting() noexcept { phase_acct_ = true; }
+  [[nodiscard]] bool phase_accounting() const noexcept { return phase_acct_; }
+
+  // ---------------------------------------------------------- observability
+  /// Binds this board's channel of a ClusterTraceHub. Journal records and
+  /// causal flow events are emitted only while the hub has the matching
+  /// stream enabled; unbound (the default) costs one branch per site.
+  void bind_observability(obs::TraceChannel* channel) noexcept {
+    obs_ = channel;
+  }
+
   // -------------------------------------------------------------- telemetry
   /// Binds the whole board stack — runtime counters/histograms, per-state
   /// slot occupancy gauges, both cores, the PCAP, and the policy — to
@@ -293,8 +341,27 @@ class BoardRuntime {
     /// the app re-runs the window since `ckpt_time` (≤ one interval).
     bool from_checkpoint = false;
     sim::SimTime ckpt_time = -1;
+    /// Phase account carried to the destination board (all zero when the
+    /// origin had no phase accounting).
+    std::array<sim::SimDuration, kAppPhaseCount> phase_ns{};
+    /// When the origin extracted the app (-1 = fabricated descriptor, e.g.
+    /// a held arrival): submit_migrated charges [extracted, now) to the
+    /// transit phase so the account still sums to response time.
+    sim::SimTime extracted = -1;
+    /// Checkpoint chain flow id, so a restore can close the base→delta
+    /// causal arrow on the destination board (0 = no chain).
+    std::uint64_t ckpt_flow = 0;
   };
   [[nodiscard]] std::vector<MigratedApp> extract_unstarted();
+
+  /// Re-admits a migrated / evacuated / held app, restoring its carried
+  /// phase account and charging its time off-board to `transit`
+  /// (kMigration for D_switch and pre-copy placements, kRecovery for crash
+  /// evacuation, shedding survivors, and reboot readmissions). Subsumes the
+  /// submit / submit_with_progress branch every resubmission site used to
+  /// spell out; with phase accounting off it behaves identically.
+  int submit_migrated(const apps::AppSpec& spec, const MigratedApp& m,
+                      AppPhase transit);
 
   // ---------------------------------------------------------- checkpointing
   /// Enables periodic DDR snapshots (see runtime/checkpoint.h). Call before
@@ -386,6 +453,13 @@ class BoardRuntime {
   void kick();
 
  private:
+  /// Phase an app is in *right now* given its unit states.
+  [[nodiscard]] AppPhase classify(const AppRun& a) const noexcept;
+  /// Closes the open phase interval at sim now and reclassifies. Call after
+  /// every unit-state change; no-op unless phase accounting is on.
+  void touch_phase(AppRun& a);
+  /// Advances a fresh app's units to `items_done` (migration restore).
+  void apply_progress(AppRun& a, const std::vector<int>& items_done);
   void run_pass();
   void try_launches();
   void launch_item(AppRun& app, UnitRun& unit);
@@ -427,6 +501,8 @@ class BoardRuntime {
   CheckpointPolicy ckpt_;
   CheckpointStats ckpt_stats_;
   bool ckpt_armed_ = false;
+  bool phase_acct_ = false;
+  obs::TraceChannel* obs_ = nullptr;
   std::int64_t dirty_granularity_ = 0;  ///< 0 = no dirty tracking
   int full_fabric_app_ = -1;  ///< baseline: app owning the whole fabric
   std::int64_t window_blocked_ = 0;
@@ -443,6 +519,9 @@ class BoardRuntime {
   obs::CounterHandle m_passes_;          ///< vs_runtime_passes_total
   obs::HistogramHandle m_response_ms_;   ///< vs_app_response_ms
   obs::HistogramHandle m_item_ms_;       ///< vs_runtime_item_ms
+  /// vs_app_phase_ms{phase=...}, indexed by AppPhase; registered only when
+  /// phase accounting is enabled.
+  std::array<obs::HistogramHandle, kAppPhaseCount> m_phase_ms_{};
   // Checkpoint instruments (registered only when ckpt_.active(); the
   // delta instruments additionally require ckpt_.delta_active()).
   obs::CounterHandle m_ckpt_snapshots_;  ///< vs_ckpt_snapshots_total

@@ -1,0 +1,549 @@
+// Cluster-wide causal observability tests: the trace hub's merged Chrome
+// trace with flow events, the structured run journal and its round-trip
+// parser, TraceRecorder capacity bounds, response-time phase accounting
+// (phases sum exactly to response time, bit-for-bit across kernels and
+// fault scenarios), and the pinned guarantee that none of it perturbs an
+// uninstrumented run.
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "cluster/cluster.h"
+#include "faults/scenario.h"
+#include "metrics/experiment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace_hub.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vs::obs {
+namespace {
+
+// ------------------------------------------------------- recorder capacity
+
+TEST(TraceRecorderCapacity, RingModeKeepsNewestAndCountsLosses) {
+  sim::TraceRecorder rec;
+  rec.enable();
+  rec.set_capacity(3, sim::TraceCapacityMode::kRing);
+  for (int i = 1; i <= 5; ++i) {
+    rec.add(i * 100, i * 100 + 10, "lane", "s" + std::to_string(i),
+            sim::SpanKind::kMarker);
+  }
+  EXPECT_EQ(rec.spans().size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  auto ordered = rec.ordered_spans();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0].label, "s3");
+  EXPECT_EQ(ordered[1].label, "s4");
+  EXPECT_EQ(ordered[2].label, "s5");
+  // Oldest-first: the unrolled ring is in append order.
+  EXPECT_LT(ordered[0].start, ordered[2].start);
+}
+
+TEST(TraceRecorderCapacity, DropModeKeepsOldest) {
+  sim::TraceRecorder rec;
+  rec.enable();
+  rec.set_capacity(2, sim::TraceCapacityMode::kDrop);
+  for (int i = 1; i <= 5; ++i) {
+    rec.add(i * 100, i * 100 + 10, "lane", "s" + std::to_string(i),
+            sim::SpanKind::kMarker);
+  }
+  EXPECT_EQ(rec.dropped(), 3u);
+  auto ordered = rec.ordered_spans();
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered[0].label, "s1");
+  EXPECT_EQ(ordered[1].label, "s2");
+}
+
+TEST(TraceRecorderCapacity, ZeroCapacityRestoresUnboundedGrowth) {
+  sim::TraceRecorder rec;
+  rec.enable();
+  rec.set_capacity(1, sim::TraceCapacityMode::kRing);
+  rec.set_capacity(0);
+  EXPECT_EQ(rec.capacity_mode(), sim::TraceCapacityMode::kUnbounded);
+  for (int i = 0; i < 10; ++i) {
+    rec.add(i, i + 1, "lane", "s", sim::SpanKind::kMarker);
+  }
+  EXPECT_EQ(rec.spans().size(), 10u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+// --------------------------------------------- Prometheus label escaping
+
+TEST(PrometheusEscaping, HostileLabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry
+      .counter("vs_hostile_total",
+               {{"board", "a\\b"}, {"spec", "q\"uote\nline"}})
+      .add(3);
+  std::ostringstream out;
+  write_prometheus(registry, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("board=\"a\\\\b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("spec=\"q\\\"uote\\nline\""), std::string::npos)
+      << text;
+  // The exposition stays one sample per line: no raw newline leaked into
+  // the label block.
+  EXPECT_EQ(text.find("uote\nline"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------ hub golden
+
+TEST(TraceHub, GoldenChromeTraceWithFlowEvents) {
+  ClusterTraceHub hub;
+  hub.enable_trace();
+
+  sim::TraceRecorder rec;
+  rec.enable();
+  rec.add(1000, 3000, "slot L1", "A PR", sim::SpanKind::kReconfig);
+  rec.add(2000, 6000, "core", "pass", sim::SpanKind::kCoreOp);
+  hub.attach_spans("b0", &rec);
+
+  TraceChannel& b0 = hub.channel("b0");
+  TraceChannel& cl = hub.channel("cluster");
+  std::uint64_t id = b0.new_flow_id();
+  EXPECT_EQ(id, (std::uint64_t{1} << 32) | 1u);
+  b0.flow(id, FlowPhase::kStart, 2000, "b0", "migration", "go");
+  cl.flow(id, FlowPhase::kStep, 4000, "cluster", "recovery", "hop");
+  b0.flow(id, FlowPhase::kEnd, 5000, "b0", "slot L1", "land");
+
+  std::ostringstream out;
+  hub.write_chrome_trace(out);
+  const std::string expected =
+      "[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"b0\"}},\n"
+      "{\"name\":\"vs_dropped_spans\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"dropped\":0}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"slot L1\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"core\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,"
+      "\"args\":{\"name\":\"migration\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+      "\"args\":{\"name\":\"cluster\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":1,"
+      "\"args\":{\"name\":\"recovery\"}},\n"
+      "{\"name\":\"A PR\",\"cat\":\"reconfig\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":1,\"ts\":1,\"dur\":2},\n"
+      "{\"name\":\"pass\",\"cat\":\"core\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":2,\"ts\":2,\"dur\":4},\n"
+      "{\"name\":\"go\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":4294967297,"
+      "\"pid\":1,\"tid\":3,\"ts\":2},\n"
+      "{\"name\":\"hop\",\"cat\":\"flow\",\"ph\":\"t\",\"id\":4294967297,"
+      "\"pid\":2,\"tid\":1,\"ts\":4},\n"
+      "{\"name\":\"land\",\"cat\":\"flow\",\"ph\":\"f\",\"id\":4294967297,"
+      "\"pid\":1,\"tid\":1,\"ts\":5,\"bp\":\"e\"}\n"
+      "]\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(TraceHub, EmptyHubEmitsAnEmptyJsonArray) {
+  ClusterTraceHub hub;
+  std::ostringstream out;
+  hub.write_chrome_trace(out);
+  EXPECT_EQ(out.str(), "[\n]\n");
+}
+
+TEST(TraceHub, SealedSpansSurviveRecorderDestruction) {
+  ClusterTraceHub hub;
+  hub.enable_trace();
+  {
+    sim::TraceRecorder rec;
+    rec.enable();
+    rec.set_capacity(1, sim::TraceCapacityMode::kRing);
+    rec.add(100, 200, "lane", "old", sim::SpanKind::kMarker);
+    rec.add(300, 400, "lane", "new", sim::SpanKind::kMarker);
+    hub.attach_spans("b0", &rec);
+    hub.seal();
+  }  // recorder destroyed; the hub must not dereference it
+  std::ostringstream out;
+  hub.write_chrome_trace(out);
+  EXPECT_NE(out.str().find("\"new\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"old\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"dropped\":1"), std::string::npos);
+}
+
+TEST(TraceHub, FlowIdsAreNamespacedPerChannel) {
+  ClusterTraceHub hub;
+  TraceChannel& a = hub.channel("a");
+  TraceChannel& b = hub.channel("b");
+  std::uint64_t a1 = a.new_flow_id();
+  std::uint64_t a2 = a.new_flow_id();
+  std::uint64_t b1 = b.new_flow_id();
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(a1, b1);
+  EXPECT_NE(a2, b1);
+  // Re-requesting a channel by name returns the same channel.
+  EXPECT_EQ(&hub.channel("a"), &a);
+}
+
+// ------------------------------------------------------------ run journal
+
+TEST(RunJournal, RoundTripsThroughJsonl) {
+  ClusterTraceHub hub;
+  hub.enable_journal();
+  TraceChannel& ch = hub.channel("b0");
+  ch.journal(1500000, JournalEvent::kAdmit, "b0", 3, "Digit", 0, "batch 17");
+  ch.journal(2000000, JournalEvent::kCrash, "b0", -1, {}, 42,
+             "2 displaced\nwith \"quotes\" and \\slashes");
+  ch.journal(2500000, JournalEvent::kComplete, "b0", 3, "Digit");
+
+  std::ostringstream out;
+  hub.write_journal(out);
+  std::istringstream in(out.str());
+  auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 3u);
+
+  EXPECT_EQ(records[0].time, 1500000);
+  EXPECT_EQ(records[0].event, JournalEvent::kAdmit);
+  EXPECT_EQ(records[0].board, "b0");
+  EXPECT_EQ(records[0].app, 3);
+  EXPECT_EQ(records[0].spec, "Digit");
+  EXPECT_EQ(records[0].flow, 0u);
+  EXPECT_EQ(records[0].detail, "batch 17");
+
+  EXPECT_EQ(records[1].event, JournalEvent::kCrash);
+  EXPECT_EQ(records[1].app, -1);
+  EXPECT_EQ(records[1].flow, 42u);
+  EXPECT_EQ(records[1].detail,
+            "2 displaced\nwith \"quotes\" and \\slashes");
+
+  EXPECT_EQ(records[2].event, JournalEvent::kComplete);
+  EXPECT_EQ(records[2].detail, "");
+}
+
+TEST(RunJournal, EventNamesRoundTrip) {
+  for (JournalEvent e :
+       {JournalEvent::kAdmit, JournalEvent::kBind, JournalEvent::kPreempt,
+        JournalEvent::kCheckpoint, JournalEvent::kComplete,
+        JournalEvent::kMigrate, JournalEvent::kCrash, JournalEvent::kRestore,
+        JournalEvent::kShed, JournalEvent::kReadmit}) {
+    JournalEvent parsed;
+    ASSERT_TRUE(journal_event_from_string(to_string(e), parsed))
+        << to_string(e);
+    EXPECT_EQ(parsed, e);
+  }
+  JournalEvent unused;
+  EXPECT_FALSE(journal_event_from_string("not-an-event", unused));
+}
+
+TEST(RunJournal, MergeIsStableAcrossEqualTimestamps) {
+  ClusterTraceHub hub;
+  hub.enable_journal();
+  TraceChannel& first = hub.channel("first");
+  TraceChannel& second = hub.channel("second");
+  second.journal(100, JournalEvent::kAdmit, "second");
+  first.journal(100, JournalEvent::kAdmit, "first");
+  first.journal(50, JournalEvent::kAdmit, "first");
+  auto merged = hub.merged_journal();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].time, 50);
+  // Equal timestamps keep channel-creation order: "first" was created
+  // first, so its t=100 record precedes "second"'s.
+  EXPECT_EQ(merged[1].board, "first");
+  EXPECT_EQ(merged[2].board, "second");
+}
+
+// -------------------------------------------------------------- resolvers
+
+TEST(Resolvers, TraceAndJournalOutPreferFlagThenEnv) {
+  const char* argv[] = {"prog", "--trace-out", "t.json", "--journal-out",
+                        "j.jsonl"};
+  util::CliArgs args(5, argv);
+  ::setenv("VS_TRACE", "env-t.json", 1);
+  ::setenv("VS_JOURNAL", "env-j.jsonl", 1);
+  EXPECT_EQ(resolve_trace_out(&args), "t.json");
+  EXPECT_EQ(resolve_journal_out(&args), "j.jsonl");
+  util::CliArgs no_flag(1, argv);
+  EXPECT_EQ(resolve_trace_out(&no_flag), "env-t.json");
+  EXPECT_EQ(resolve_journal_out(&no_flag), "env-j.jsonl");
+  ::unsetenv("VS_TRACE");
+  ::unsetenv("VS_JOURNAL");
+  EXPECT_EQ(resolve_trace_out(&no_flag), "");
+  EXPECT_EQ(resolve_journal_out(&no_flag), "");
+  EXPECT_EQ(resolve_trace_out(nullptr), "");
+  EXPECT_EQ(resolve_journal_out(nullptr), "");
+}
+
+// ----------------------------------------------------- phase accounting
+
+workload::Sequence stress_sequence(std::uint64_t seed, int apps) {
+  workload::WorkloadConfig config;
+  config.congestion = workload::Congestion::kStress;
+  config.apps_per_sequence = apps;
+  util::Rng rng(seed);
+  return workload::generate_sequence(config, rng);
+}
+
+faults::FaultScenario faulty_scenario() {
+  faults::FaultScenario s;
+  s.seed = 77;
+  s.hazards.board_crash_per_s = 0.05;
+  s.hazards.link_flap_per_s = 0.05;
+  s.hazards.slot_seu_per_s = 0.1;
+  s.horizon = sim::seconds(60.0);
+  s.timeline.push_back(
+      {sim::seconds(1.0), faults::FaultKind::kBoardCrash, 0, -1});
+  return s;
+}
+
+void expect_phases_sum_to_response(
+    const std::vector<runtime::CompletedApp>& apps, const char* label) {
+  ASSERT_GT(apps.size(), 0u) << label;
+  for (const runtime::CompletedApp& c : apps) {
+    sim::SimDuration total = 0;
+    for (sim::SimDuration d : c.phase_ns) {
+      EXPECT_GE(d, 0) << label << " app " << c.app_id;
+      total += d;
+    }
+    // Integer-exact: the invariant holds to the nanosecond, not within a
+    // floating-point tolerance.
+    EXPECT_EQ(total, c.completed - c.arrival) << label << " app " << c.app_id;
+  }
+}
+
+TEST(PhaseAccounting, PhasesSumExactlyToResponseAcrossScenariosAndKernels) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  for (std::uint64_t seed : {2025u, 77u}) {
+    workload::Sequence seq = stress_sequence(seed, 25);
+    for (int scenario = 0; scenario < 3; ++scenario) {
+      for (int workers : {0, 4}) {
+        cluster::ClusterOptions options;
+        options.phase_accounting = true;
+        options.kernel_workers = workers;
+        if (scenario >= 1) options.faults = faulty_scenario();
+        if (scenario == 2) {
+          options.checkpoint.enabled = true;
+          options.checkpoint.delta = true;
+        }
+        metrics::ClusterRunResult r =
+            metrics::run_cluster(suite, seq, options);
+        std::string label = "seed " + std::to_string(seed) + " scenario " +
+                            std::to_string(scenario) + " workers " +
+                            std::to_string(workers);
+        expect_phases_sum_to_response(r.apps, label.c_str());
+      }
+    }
+  }
+}
+
+TEST(PhaseAccounting, PhasesSumExactlyToResponseOnFaultedSingleBoard) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::Sequence seq = stress_sequence(2025, 15);
+  metrics::RunOptions opts;
+  opts.phase_accounting = true;
+  opts.faults = faulty_scenario();
+  metrics::RunResult r = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, opts);
+  expect_phases_sum_to_response(r.apps, "single-board faulted");
+  // The fault path was actually exercised.
+  EXPECT_GT(r.recovery.boards_crashed, 0);
+  // Recovery transit shows up in the account of at least one app.
+  bool recovery_charged = false;
+  for (const runtime::CompletedApp& c : r.apps) {
+    if (c.phase_ns[static_cast<std::size_t>(runtime::AppPhase::kRecovery)] >
+        0) {
+      recovery_charged = true;
+    }
+  }
+  EXPECT_TRUE(recovery_charged);
+}
+
+TEST(PhaseAccounting, ObservabilityDoesNotPerturbAFaultedClusterRun) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::Sequence seq = stress_sequence(2025, 25);
+
+  cluster::ClusterOptions plain_options;
+  plain_options.faults = faulty_scenario();
+  metrics::ClusterRunResult plain =
+      metrics::run_cluster(suite, seq, plain_options);
+  ASSERT_GT(plain.recovery.boards_crashed, 0);
+
+  ClusterTraceHub hub;
+  hub.enable_trace();
+  hub.enable_journal();
+  cluster::ClusterOptions instrumented_options = plain_options;
+  instrumented_options.hub = &hub;
+  instrumented_options.phase_accounting = true;
+  metrics::ClusterRunResult instrumented =
+      metrics::run_cluster(suite, seq, instrumented_options);
+
+  ASSERT_EQ(instrumented.response_ms.size(), plain.response_ms.size());
+  for (std::size_t i = 0; i < plain.response_ms.size(); ++i) {
+    EXPECT_EQ(instrumented.response_ms[i], plain.response_ms[i]) << i;
+  }
+  EXPECT_EQ(instrumented.recovery.boards_crashed,
+            plain.recovery.boards_crashed);
+  EXPECT_EQ(instrumented.recovery.apps_evacuated,
+            plain.recovery.apps_evacuated);
+  EXPECT_EQ(instrumented.recovery.mttr_total, plain.recovery.mttr_total);
+  EXPECT_EQ(instrumented.events, plain.events);
+}
+
+TEST(PhaseAccounting, SerialAndShardedKernelsEmitIdenticalTraceAndJournal) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::Sequence seq = stress_sequence(2025, 25);
+
+  auto run = [&](int workers) {
+    ClusterTraceHub hub;
+    hub.enable_trace();
+    hub.enable_journal();
+    cluster::ClusterOptions options;
+    options.faults = faulty_scenario();
+    options.checkpoint.enabled = true;
+    options.hub = &hub;
+    options.phase_accounting = true;
+    options.kernel_workers = workers;
+    (void)metrics::run_cluster(suite, seq, options);
+    std::ostringstream trace, journal;
+    hub.write_chrome_trace(trace);
+    hub.write_journal(journal);
+    return std::make_pair(trace.str(), journal.str());
+  };
+
+  auto [serial_trace, serial_journal] = run(0);
+  auto [sharded_trace, sharded_journal] = run(4);
+  EXPECT_EQ(serial_trace, sharded_trace);
+  EXPECT_EQ(serial_journal, sharded_journal);
+  EXPECT_GT(serial_journal.size(), 0u);
+}
+
+TEST(PhaseAccounting, FaultedClusterTraceCarriesCausalChains) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::Sequence seq = stress_sequence(2025, 25);
+
+  ClusterTraceHub hub;
+  hub.enable_trace();
+  hub.enable_journal();
+  cluster::ClusterOptions options;
+  options.faults = faulty_scenario();
+  options.hub = &hub;
+  options.phase_accounting = true;
+  metrics::ClusterRunResult r = metrics::run_cluster(suite, seq, options);
+  ASSERT_GT(r.recovery.boards_crashed, 0);
+
+  std::ostringstream trace_out;
+  hub.write_chrome_trace(trace_out);
+  const std::string trace = trace_out.str();
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(trace.find("\"bp\":\"e\""), std::string::npos);
+
+  // A crash flow starts on the origin board and its readmission terminus
+  // lands on a board process; both hops share the flow id.
+  auto flows = hub.merged_flows();
+  bool crash_chain_closed = false;
+  for (const FlowPoint& s : flows) {
+    if (s.phase != FlowPhase::kStart || s.name.rfind("crash", 0) != 0) {
+      continue;
+    }
+    for (const FlowPoint& f : flows) {
+      if (f.id == s.id && f.phase == FlowPhase::kEnd) {
+        crash_chain_closed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(crash_chain_closed);
+
+  std::ostringstream journal_out;
+  hub.write_journal(journal_out);
+  std::istringstream journal_in(journal_out.str());
+  auto records = parse_journal(journal_in);
+  int crashes = 0, restores = 0, completes = 0, admits = 0;
+  for (const JournalRecord& rec : records) {
+    if (rec.event == JournalEvent::kCrash) ++crashes;
+    if (rec.event == JournalEvent::kRestore) ++restores;
+    if (rec.event == JournalEvent::kComplete) ++completes;
+    if (rec.event == JournalEvent::kAdmit) ++admits;
+  }
+  EXPECT_GT(crashes, 0);
+  EXPECT_GT(restores, 0);
+  EXPECT_GT(completes, 0);
+  EXPECT_GT(admits, 0);
+  // Journal timestamps arrive merged in nondecreasing order.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time, records[i].time) << i;
+  }
+}
+
+TEST(PhaseAccounting, HistogramsRegisterOnlyWhenEnabledAndReconcile) {
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  workload::Sequence seq = stress_sequence(2025, 20);
+
+  // Without phase accounting the telemetry export carries no phase rows —
+  // the byte-identity guarantee for --metrics-out alone.
+  {
+    Telemetry telemetry;
+    (void)metrics::run_cluster(suite, seq, {}, sim::seconds(36000.0),
+                               &telemetry);
+    EXPECT_EQ(prometheus_text(telemetry.registry()).find("vs_app_phase_ms"),
+              std::string::npos);
+  }
+
+  Telemetry telemetry;
+  cluster::ClusterOptions options;
+  options.phase_accounting = true;
+  metrics::ClusterRunResult r = metrics::run_cluster(
+      suite, seq, options, sim::seconds(36000.0), &telemetry);
+  ASSERT_EQ(r.completed, r.submitted);
+
+  // Per phase: every completion observes every phase exactly once, so each
+  // phase's pooled count equals the number of completed apps, and the
+  // pooled phase mass equals the pooled response mass.
+  std::array<std::uint64_t, runtime::kAppPhaseCount> counts{};
+  double phase_sum = 0;
+  double response_sum = 0;
+  for (const auto& row : telemetry.registry().histograms()) {
+    if (row.name == "vs_app_phase_ms") {
+      phase_sum += row.cell.sum();
+      for (const auto& [k, v] : row.labels) {
+        if (k != "phase") continue;
+        for (std::size_t p = 0; p < runtime::kAppPhaseCount; ++p) {
+          if (v == runtime::to_string(static_cast<runtime::AppPhase>(p))) {
+            counts[p] += row.cell.count();
+          }
+        }
+      }
+    }
+    if (row.name == "vs_app_response_ms") response_sum += row.cell.sum();
+  }
+  for (std::size_t p = 0; p < runtime::kAppPhaseCount; ++p) {
+    EXPECT_EQ(counts[p], static_cast<std::uint64_t>(r.completed))
+        << runtime::to_string(static_cast<runtime::AppPhase>(p));
+  }
+  EXPECT_NEAR(phase_sum, response_sum, 1e-6 * std::max(1.0, response_sum));
+
+  // The run report renders the reconciled per-phase table.
+  std::string report =
+      run_report_json(telemetry.registry(), telemetry.info(), nullptr);
+  EXPECT_NE(report.find("\"phases\": ["), std::string::npos);
+  for (std::size_t p = 0; p < runtime::kAppPhaseCount; ++p) {
+    EXPECT_NE(report.find(std::string("{\"phase\": \"") +
+                          runtime::to_string(static_cast<runtime::AppPhase>(
+                              p)) +
+                          "\""),
+              std::string::npos)
+        << runtime::to_string(static_cast<runtime::AppPhase>(p));
+  }
+}
+
+}  // namespace
+}  // namespace vs::obs
