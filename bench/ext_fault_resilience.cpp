@@ -106,6 +106,21 @@ int main(int argc, char** argv) {
     std::cerr << "unknown --recovery mode: " << mode_filter << "\n";
     return 1;
   }
+  // Load-aware admission throttle during recovery (--throttle defer|shed):
+  // while displaced apps wait in the readmission queue, new arrivals are
+  // deferred behind them or shed. Off by default — the committed CSV and
+  // all tables are byte-identical to a throttle-free build.
+  const std::string throttle_name = args.get("throttle");
+  cluster::RecoveryOptions::Throttle throttle =
+      cluster::RecoveryOptions::Throttle::kOff;
+  if (throttle_name == "defer") {
+    throttle = cluster::RecoveryOptions::Throttle::kDefer;
+  } else if (throttle_name == "shed") {
+    throttle = cluster::RecoveryOptions::Throttle::kShed;
+  } else if (!throttle_name.empty() && throttle_name != "off") {
+    std::cerr << "unknown --throttle mode: " << throttle_name << "\n";
+    return 1;
+  }
 
   auto scenario_for = [&](double rate, std::size_t seq) {
     faults::FaultScenario s;
@@ -149,6 +164,7 @@ int main(int argc, char** argv) {
         options.checkpoint.delta = mode.delta;
         options.checkpoint.interval = sim::ms(ckpt_interval_ms);
         options.checkpoint.granularity = ckpt_granularity;
+        options.recovery.throttle = throttle;
         return metrics::run_cluster(suite, sequences[seq], options);
       });
 
@@ -169,6 +185,7 @@ int main(int argc, char** argv) {
   // rate 0 pass, which the grid orders first).
   std::vector<double> baseline_ms(modes.size(), 0.0);
   bool ordering_ok = true;
+  std::int64_t total_deferred = 0, total_arrivals_shed = 0;
   for (std::size_t ri = 0; ri < std::size(crash_rates); ++ri) {
     for (std::size_t mi = 0; mi < modes.size(); ++mi) {
       double censored_sum_ms = 0;
@@ -213,9 +230,13 @@ int main(int argc, char** argv) {
         stats.boards_crashed += r.recovery.boards_crashed;
         stats.mttr_total += r.recovery.mttr_total;
         stats.mttr_count += r.recovery.mttr_count;
+        stats.arrivals_deferred += r.recovery.arrivals_deferred;
+        stats.arrivals_shed += r.recovery.arrivals_shed;
         avail += r.availability;
       }
       avail /= static_cast<double>(n_seqs);
+      total_deferred += stats.arrivals_deferred;
+      total_arrivals_shed += stats.arrivals_shed;
       double censored_mean = censored_sum_ms / static_cast<double>(submitted);
       if (crash_rates[ri] == 0.0) baseline_ms[mi] = censored_mean;
       if (baseline_ms[mi] <= 0) ordering_ok = false;
@@ -265,6 +286,11 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  if (throttle != cluster::RecoveryOptions::Throttle::kOff) {
+    std::cout << "\nAdmission throttle (" << throttle_name
+              << "): " << total_deferred << " arrivals deferred behind the "
+              << "readmission queue, " << total_arrivals_shed << " shed\n";
+  }
   if (!ordering_ok) {
     std::cout << "\nWARNING: rate-0 baseline missing; inflation column "
                  "invalid\n";

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
             << "(" << runner.jobs() << " worker thread(s))\n\n";
   util::CsvWriter csv("fig6_tail_latency.csv");
   csv.header({"congestion", "system", "p95_ms", "p99_ms", "p95_vs_baseline",
-              "p99_vs_baseline"});
+              "p99_vs_baseline", "completed", "recovering"});
 
   for (int ci = 0; ci < workload::kCongestionCount; ++ci) {
     auto congestion = static_cast<workload::Congestion>(ci);
@@ -55,19 +55,32 @@ int main(int argc, char** argv) {
     std::vector<metrics::SweepJob> grid;
     for (int k = 0; k < metrics::kSystemCount; ++k) {
       for (const auto& seq : sequences) {
+        metrics::RunOptions options;
+        // Phase accounting feeds the completed/recovering CSV split; every
+        // latency column is unchanged (pure bookkeeping).
+        options.phase_accounting = true;
         grid.push_back(metrics::SweepJob{
-            static_cast<metrics::SystemKind>(k), seq, {}});
+            static_cast<metrics::SystemKind>(k), seq, options});
       }
     }
     auto cells = runner.run(suite, grid);
 
     std::vector<metrics::AggregateResult> results;
+    std::vector<int> sys_completed(
+        static_cast<std::size_t>(metrics::kSystemCount), 0);
+    std::vector<int> sys_recovering(
+        static_cast<std::size_t>(metrics::kSystemCount), 0);
     for (int k = 0; k < metrics::kSystemCount; ++k) {
       std::vector<metrics::RunResult> per_seq(
           cells.begin() + static_cast<std::ptrdiff_t>(k * kSequences),
           cells.begin() + static_cast<std::ptrdiff_t>((k + 1) * kSequences));
       results.push_back(metrics::reduce_aggregate(
           static_cast<metrics::SystemKind>(k), per_seq));
+      for (const auto& r : per_seq) {
+        sys_completed[static_cast<std::size_t>(k)] += r.completed;
+        sys_recovering[static_cast<std::size_t>(k)] +=
+            metrics::recovered_completions(r.apps);
+      }
     }
     const auto& base = results[0];
     const auto& nim = results[3];
@@ -77,7 +90,8 @@ int main(int argc, char** argv) {
               << " arrivals --\n";
     util::Table table(
         {"system", "P95 ms", "P99 ms", "P95/base", "P99/base"});
-    for (const auto& r : results) {
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const auto& r = results[k];
       table.add_row();
       table.cell(r.system);
       table.cell(r.p95_ms, 1);
@@ -87,7 +101,9 @@ int main(int argc, char** argv) {
       csv.row({workload::congestion_name(congestion), r.system,
                util::fmt(r.p95_ms, 3), util::fmt(r.p99_ms, 3),
                util::fmt(r.p95_ms / base.p95_ms, 4),
-               util::fmt(r.p99_ms / base.p99_ms, 4)});
+               util::fmt(r.p99_ms / base.p99_ms, 4),
+               std::to_string(sys_completed[k]),
+               std::to_string(sys_recovering[k])});
     }
     table.print(std::cout);
     std::cout << "  Big.Little vs Nimblock: P95 "

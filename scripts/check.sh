@@ -84,6 +84,23 @@ cmake --build build -j "$JOBS" --target ext_cluster_scale
   --kernel-jobs 4 > build/kernel_sharded.out
 diff build/kernel_serial.out build/kernel_sharded.out
 
+echo "== multi-tenant serving smoke (vs_tenant_* metrics, kernel CSV diff) =="
+cmake --build build -j "$JOBS" --target ext_multitenant
+# Run from build/ so the CSV a smoke writes cannot clobber the committed
+# ext_multitenant.csv at the repo root.
+(cd build && ./bench/ext_multitenant --boards 8 --rate 1.0 --horizon 10 \
+  --jobs 1 --kernel-jobs 0 --metrics-out mt_smoke > mt_serial.out &&
+  mv ext_multitenant.csv mt_serial.csv)
+(cd build && ./bench/ext_multitenant --boards 8 --rate 1.0 --horizon 10 \
+  --jobs 1 --kernel-jobs 4 > mt_sharded.out &&
+  mv ext_multitenant.csv mt_sharded.csv)
+grep -q 'vs_tenant_admitted_total' build/mt_smoke.prom
+grep -q 'vs_tenant_slo_miss_total' build/mt_smoke.prom
+grep -q 'vs_tenant_response_ms' build/mt_smoke.prom
+# The serving plane runs entirely in coordinator events: the sharded
+# kernel must reproduce the serial CSV byte for byte.
+diff build/mt_serial.csv build/mt_sharded.csv
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== ThreadSanitizer: sweep runner + sharded kernel =="
   cmake -B build-tsan -S . -DVS_SANITIZE=thread
@@ -94,7 +111,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # goes under the race detector.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/versaslot_tests \
-    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*:*SerialAndShardedKernelsEmitIdenticalTraceAndJournal*'
+    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*:*SerialAndShardedKernelsEmitIdenticalTraceAndJournal*:ServePlane.SerialAndShardedKernelsBitIdentical'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -102,11 +119,11 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:TraceRecorderCapacity.*:TraceHub.*:RunJournal.*:PrometheusEscaping.*:PhaseAccounting.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:TraceRecorderCapacity.*:TraceHub.*:RunJournal.*:PrometheusEscaping.*:PhaseAccounting.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*:ArrivalProcess.*:ServeAdmission.*:ServePlane.*'
 fi
 
 if [[ "${SKIP_COV:-0}" != "1" ]]; then
-  echo "== coverage gate: src/cluster + src/faults + src/runtime + src/sim =="
+  echo "== coverage gate: src/cluster + src/faults + src/runtime + src/sim + src/serve =="
   scripts/coverage.sh
 fi
 

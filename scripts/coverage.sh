@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the cluster, fault, runtime and simulation-kernel
-# layers. Builds the VS_COVERAGE preset, runs the full test suite, then
-# measures line coverage of src/cluster/, src/faults/, src/runtime/ and
-# src/sim/ and fails below the threshold.
+# Line-coverage gate for the cluster, fault, runtime, simulation-kernel
+# and serving-plane layers. Builds the VS_COVERAGE preset, runs the full
+# test suite, then measures line coverage of src/cluster/, src/faults/,
+# src/runtime/, src/sim/ and src/serve/ and fails below the threshold —
+# src/serve/ is additionally gated on its own, so strong coverage in the
+# older layers cannot mask a weakly tested serving plane.
 #
 #   scripts/coverage.sh                 # build, test, report, gate (>= 85%)
 #   VS_COV_MIN=80 scripts/coverage.sh   # custom threshold
@@ -22,16 +24,20 @@ cmake --build "$BUILD" -j "$JOBS" --target versaslot_tests
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 if command -v gcovr >/dev/null 2>&1; then
-  echo "== gcovr: src/cluster + src/faults + src/runtime + src/sim =="
+  echo "== gcovr: src/cluster + src/faults + src/runtime + src/sim + src/serve =="
   gcovr --root . --filter 'src/cluster/' --filter 'src/faults/' \
-    --filter 'src/runtime/' --filter 'src/sim/' \
+    --filter 'src/runtime/' --filter 'src/sim/' --filter 'src/serve/' \
     --fail-under-line "$MIN" "$BUILD"
+  echo "== gcovr: src/serve standalone gate =="
+  gcovr --root . --filter 'src/serve/' --fail-under-line "$MIN" "$BUILD"
 else
-  echo "== gcov fallback: src/cluster + src/faults + src/runtime + src/sim =="
+  echo "== gcov fallback: src/cluster + src/faults + src/runtime + src/sim + src/serve =="
   total_lines=0
   covered_lines=0
+  serve_total=0
+  serve_covered=0
   for src in src/cluster/*.cpp src/faults/*.cpp src/runtime/*.cpp \
-             src/sim/*.cpp; do
+             src/sim/*.cpp src/serve/*.cpp; do
     obj_dir=$(dirname "$BUILD/src/CMakeFiles/versaslot_core.dir/${src#src/}")
     gcno=$(find "$BUILD/src" -name "$(basename "$src").gcno" | head -n 1)
     if [[ -z "$gcno" ]]; then
@@ -53,12 +59,23 @@ else
     printf '  %-40s %6s%% of %s lines\n' "$src" "$pct" "$n"
     total_lines=$((total_lines + n))
     covered_lines=$((covered_lines + hit))
+    if [[ "$src" == src/serve/* ]]; then
+      serve_total=$((serve_total + n))
+      serve_covered=$((serve_covered + hit))
+    fi
   done
   pct=$(awk -v c="$covered_lines" -v t="$total_lines" \
         'BEGIN { printf "%.2f", 100 * c / t }')
   echo "== line coverage: $pct% ($covered_lines/$total_lines) =="
   awk -v p="$pct" -v m="$MIN" 'BEGIN { exit !(p >= m) }' || {
     echo "coverage $pct% is below the $MIN% gate" >&2
+    exit 1
+  }
+  serve_pct=$(awk -v c="$serve_covered" -v t="$serve_total" \
+        'BEGIN { printf "%.2f", 100 * c / t }')
+  echo "== src/serve line coverage: $serve_pct% ($serve_covered/$serve_total) =="
+  awk -v p="$serve_pct" -v m="$MIN" 'BEGIN { exit !(p >= m) }' || {
+    echo "src/serve coverage $serve_pct% is below the $MIN% gate" >&2
     exit 1
   }
 fi

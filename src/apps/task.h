@@ -60,6 +60,10 @@ struct AppArrival {
   /// only becomes available at arrival + i * item_interval (a live source
   /// such as a camera feed). Zero = the whole batch is staged up front.
   sim::SimDuration item_interval = 0;
+  /// Serving plane: owning tenant index (serve::ServeConfig::tenants), or
+  /// -1 for the closed batch workloads. Rides through the board runtime so
+  /// completions and migrations stay attributable to their tenant.
+  int tenant = -1;
 };
 
 }  // namespace vs::apps

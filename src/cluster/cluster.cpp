@@ -120,6 +120,14 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
           "vs_recovery_evac_latency_ms", obs::default_ms_bounds())};
       m_mttr_ = obs::HistogramHandle{
           &reg.histogram("vs_recovery_mttr_ms", obs::default_ms_bounds())};
+      if (options_.recovery.throttle != RecoveryOptions::Throttle::kOff) {
+        // Registered only when the throttle is on, so throttle-free
+        // exports stay byte-identical.
+        m_throttle_deferred_ = obs::CounterHandle{
+            &reg.counter("vs_throttle_deferred_total")};
+        m_throttle_shed_ =
+            obs::CounterHandle{&reg.counter("vs_throttle_shed_total")};
+      }
       if (options_.checkpoint.active()) {
         // Registered only when checkpointing is on, so recovery-without-
         // checkpoint exports stay byte-identical to PR 4.
@@ -175,6 +183,9 @@ int Cluster::new_epoch(core::SwitchLoop::Config config, fpga::Board& board) {
     sim::TagScope tag_scope(sim_, 0);
     completed_.push_back(c);
     on_queue_update();
+    // Serving-plane hook last: admission pumps and rebalance checks run
+    // after the D_switch sampling for this completion, still on tag 0.
+    if (on_app_complete_) on_app_complete_(c);
   });
   epoch->runtime->enable_checkpoints(options_.checkpoint);
   if (options_.migration.active()) {
@@ -241,26 +252,113 @@ runtime::BoardRuntime& Cluster::least_loaded_active() {
 
 void Cluster::submit_sequence(const workload::Sequence& sequence) {
   for (const apps::AppArrival& a : sequence) {
-    ++submitted_;
-    sim_.schedule_at(a.arrival, [this, a] {
+    sim_.schedule_at(a.arrival, [this, a] { dispatch_arrival(a); });
+  }
+}
+
+void Cluster::dispatch_arrival(const apps::AppArrival& a,
+                               runtime::BoardRuntime* preferred) {
+  ++submitted_;
+  const RecoveryOptions::Throttle throttle = options_.recovery.throttle;
+  if (throttle != RecoveryOptions::Throttle::kOff &&
+      !readmit_queue_.empty()) {
+    // Recovery in progress: displaced apps are still waiting for a board.
+    // Admitting fresh arrivals now would queue them in front of that
+    // backlog and stretch the recovery-mode tail.
+    if (throttle == RecoveryOptions::Throttle::kShed) {
+      // Dropped at the door. Still counted as submitted — like apps_lost,
+      // the bench-level censored accounting must see the refused work.
+      ++recovery_stats_.arrivals_shed;
+      m_throttle_shed_.add();
+      return;
+    }
+    ++recovery_stats_.arrivals_deferred;
+    m_throttle_deferred_.add();
+    MigratedApp m;
+    m.spec_index = a.spec_index;
+    m.batch = a.batch;
+    m.arrival = a.arrival;
+    m.item_interval = a.item_interval;
+    m.state_bytes = 0;
+    m.tenant = a.tenant;
+    readmit_queue_.push_back(ReadmitEntry{std::move(m), nullptr});
+    return;
+  }
+  runtime::BoardRuntime* rt =
+      preferred != nullptr ? preferred : least_loaded_or_null();
+  if (rt == nullptr) {
+    // Every board is down (fault plane only — the fault-free cluster
+    // always has an active pool). Hold the arrival for re-admission.
+    MigratedApp m;
+    m.spec_index = a.spec_index;
+    m.batch = a.batch;
+    m.arrival = a.arrival;
+    m.item_interval = a.item_interval;
+    m.state_bytes = 0;
+    m.tenant = a.tenant;
+    readmit_queue_.push_back(ReadmitEntry{std::move(m), nullptr});
+    return;
+  }
+  rt->submit(suite_.at(static_cast<std::size_t>(a.spec_index)), a.spec_index,
+             a.batch, a.arrival, a.item_interval, a.tenant);
+  on_queue_update();
+}
+
+std::vector<runtime::BoardRuntime*> Cluster::active_runtimes() {
+  std::vector<runtime::BoardRuntime*> out;
+  out.reserve(active_epochs_.size());
+  for (int index : active_epochs_) {
+    out.push_back(epochs_[static_cast<std::size_t>(index)]->runtime.get());
+  }
+  return out;
+}
+
+int Cluster::rebalance_active(int min_spread) {
+  assert(min_spread >= 1);
+  if (active_epochs_.size() < 2) return 0;
+  runtime::BoardRuntime* busiest = nullptr;
+  int max_load = 0;
+  int min_load = 0;
+  for (int index : active_epochs_) {
+    runtime::BoardRuntime& rt =
+        *epochs_[static_cast<std::size_t>(index)]->runtime;
+    int load = rt.active_apps();
+    if (busiest == nullptr) {
+      busiest = &rt;
+      max_load = min_load = load;
+      continue;
+    }
+    if (load > max_load) {
+      busiest = &rt;
+      max_load = load;
+    }
+    min_load = std::min(min_load, load);
+  }
+  if (max_load - min_load < min_spread) return 0;
+  // Only unstarted apps move — the same "ready list" a D_switch migration
+  // ships — so no progress is at risk and the origin keeps its running work.
+  std::vector<MigratedApp> moved = busiest->extract_unstarted();
+  if (moved.empty()) return 0;
+  const int moved_count = static_cast<int>(moved.size());
+  std::int64_t bytes = 4096;  // rebalance-control message
+  for (const MigratedApp& m : moved) bytes += m.state_bytes;
+  m_migrated_apps_.add(moved_count);
+  link_.transfer(bytes, [this, moved = std::move(moved)]() mutable {
+    for (MigratedApp& m : moved) {
+      // The destination is re-picked per app at landing time; a crash
+      // while the transfer was in flight queues the app for re-admission.
       runtime::BoardRuntime* rt = least_loaded_or_null();
       if (rt == nullptr) {
-        // Every board is down (fault plane only — the fault-free cluster
-        // always has an active pool). Hold the arrival for re-admission.
-        MigratedApp m;
-        m.spec_index = a.spec_index;
-        m.batch = a.batch;
-        m.arrival = a.arrival;
-        m.item_interval = a.item_interval;
-        m.state_bytes = 0;
         readmit_queue_.push_back(ReadmitEntry{std::move(m), nullptr});
-        return;
+        continue;
       }
-      rt->submit(suite_.at(static_cast<std::size_t>(a.spec_index)),
-                 a.spec_index, a.batch, a.arrival, a.item_interval);
-      on_queue_update();
-    });
-  }
+      const apps::AppSpec& spec =
+          suite_.at(static_cast<std::size_t>(m.spec_index));
+      rt->submit_migrated(spec, m, runtime::AppPhase::kMigration);
+    }
+    on_queue_update();
+  });
+  return moved_count;
 }
 
 void Cluster::on_queue_update() {

@@ -15,7 +15,9 @@
 // being freed (so one available FPGA suffices to switch the whole system).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -57,6 +59,14 @@ struct RecoveryOptions {
   /// tenants (apps with progress, including Big-slot bundle work) are
   /// always preserved. Default: effectively unlimited (no shedding).
   int shed_threshold = 1 << 30;
+  /// Load-aware admission throttle during recovery: while the readmission
+  /// queue is non-empty (displaced apps are still waiting for a board),
+  /// new arrivals are deferred behind them (kDefer) or dropped outright
+  /// (kShed) instead of landing in front of the recovery backlog. kOff
+  /// (the default) admits arrivals normally and is byte-identical to the
+  /// pre-throttle cluster.
+  enum class Throttle : std::uint8_t { kOff, kDefer, kShed };
+  Throttle throttle = Throttle::kOff;
 };
 
 /// Recovery bookkeeping, available without telemetry (mirrored into obs::
@@ -72,6 +82,9 @@ struct RecoveryStats {
   int apps_lost = 0;       ///< no recovery: died with the board
   int apps_shed = 0;       ///< degradation: dropped Little-slot work
   int readmissions = 0;    ///< placed from the re-admission queue
+  /// Admission throttle (RecoveryOptions::throttle; zero when kOff).
+  int arrivals_deferred = 0;  ///< held behind the readmission backlog
+  int arrivals_shed = 0;      ///< dropped while recovery was in progress
   sim::SimDuration mttr_total = 0;  ///< sum over crashes (see mttr_count)
   int mttr_count = 0;
 
@@ -186,6 +199,38 @@ class Cluster {
   /// Schedules all arrivals of a workload sequence into the simulator.
   /// Each arrival is dispatched to the least-loaded active board.
   void submit_sequence(const workload::Sequence& sequence);
+
+  // --- Serving-plane entry points (serve::ResourceManager) -------------
+  /// Dispatches one arrival *now* (call inside an event at its arrival
+  /// time). `preferred` routes to that board (it must be an active
+  /// runtime); null falls back to the least-loaded active board. A fully
+  /// down cluster holds the arrival for re-admission at the next reboot,
+  /// and the recovery throttle (RecoveryOptions::throttle) may defer or
+  /// shed it while the readmission queue is non-empty.
+  void dispatch_arrival(const apps::AppArrival& a,
+                        runtime::BoardRuntime* preferred = nullptr);
+  /// The active pool's usable board runtimes, in fixed pool order (empty
+  /// only when every board is down under a fault plane).
+  [[nodiscard]] std::vector<runtime::BoardRuntime*> active_runtimes();
+  /// Depth of the readmission queue (non-zero while displaced apps or
+  /// held/deferred arrivals are waiting for a board).
+  [[nodiscard]] int readmit_pending() const noexcept {
+    return static_cast<int>(readmit_queue_.size());
+  }
+  /// Cluster-level completion hook, invoked after the cluster's own
+  /// bookkeeping inside the coordinator-pinned completion path (so
+  /// anything the hook schedules is deterministic under both kernels).
+  void set_on_app_complete(
+      std::function<void(const runtime::CompletedApp&)> fn) {
+    on_app_complete_ = std::move(fn);
+  }
+  /// Load rebalancing over the Aurora link: when the spread between the
+  /// most- and least-loaded active boards reaches `min_spread`, the most
+  /// loaded board's unstarted apps live-migrate to the least loaded ones
+  /// (the same transfer + re-admission path as a D_switch migration).
+  /// Returns the number of apps put in flight (0 = balanced or nothing
+  /// migratable).
+  int rebalance_active(int min_spread);
 
   /// All apps completed across boards and epochs.
   [[nodiscard]] const std::vector<runtime::CompletedApp>& completed()
@@ -310,6 +355,7 @@ class Cluster {
   std::vector<int> active_epochs_;  ///< indices into epochs_
   std::vector<runtime::CompletedApp> completed_;
   std::vector<SwitchEvent> switch_events_;
+  std::function<void(const runtime::CompletedApp&)> on_app_complete_;
   int submitted_ = 0;
   /// A pre-copy migration is streaming; further switches defer until its
   /// stop-and-copy lands (the origins are still mid-extraction).
@@ -342,6 +388,10 @@ class Cluster {
   obs::CounterHandle m_readmitted_;   ///< vs_recovery_readmissions_total
   obs::HistogramHandle m_evac_latency_;  ///< vs_recovery_evac_latency_ms
   obs::HistogramHandle m_mttr_;          ///< vs_recovery_mttr_ms
+  // Admission-throttle instruments (registered only when
+  // recovery.throttle != kOff, so throttle-free exports stay identical).
+  obs::CounterHandle m_throttle_deferred_;  ///< vs_throttle_deferred_total
+  obs::CounterHandle m_throttle_shed_;      ///< vs_throttle_shed_total
   // Checkpoint-restore instruments (faults + checkpointing only).
   obs::HistogramHandle m_restored_items_;   ///< vs_ckpt_restored_items
   obs::HistogramHandle m_rerun_window_ms_;  ///< vs_ckpt_rerun_window_ms

@@ -150,8 +150,8 @@ void BoardRuntime::refresh_slot_gauges() {
 }
 
 int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
-                         sim::SimTime arrival,
-                         sim::SimDuration item_interval) {
+                         sim::SimTime arrival, sim::SimDuration item_interval,
+                         int tenant) {
   assert(admission_open_ && "board is draining; submit to the active board");
   assert(batch >= 1);
   // Cross-shard entry point: everything this admission schedules (and, via
@@ -162,6 +162,7 @@ int BoardRuntime::submit(const apps::AppSpec& spec, int spec_index, int batch,
   app.id = static_cast<int>(apps_.size());
   app.spec = &spec;
   app.spec_index = spec_index;
+  app.tenant = tenant;
   app.arrival = arrival;
   app.admitted = sim().now();
   app.batch = batch;
@@ -723,7 +724,8 @@ int BoardRuntime::submit_with_progress(const apps::AppSpec& spec,
 
 int BoardRuntime::submit_migrated(const apps::AppSpec& spec,
                                   const MigratedApp& m, AppPhase transit) {
-  int id = submit(spec, m.spec_index, m.batch, m.arrival, m.item_interval);
+  int id =
+      submit(spec, m.spec_index, m.batch, m.arrival, m.item_interval, m.tenant);
   AppRun& a = app(id);
   if (!m.progress.empty()) apply_progress(a, m.progress);
   if (phase_acct_) {
@@ -762,6 +764,7 @@ BoardRuntime::MigratedApp migrated_descriptor(const AppRun& a) {
   m.batch = a.batch;
   m.arrival = a.arrival;
   m.item_interval = a.item_interval;
+  m.tenant = a.tenant;
   // App descriptor plus per-item staging headers; bulk input data stays
   // host-fetchable and is re-DMAed on the target board at launch time.
   m.state_bytes = 4096 + static_cast<std::int64_t>(a.batch) * 16384;
@@ -1107,6 +1110,7 @@ void BoardRuntime::check_app_complete(AppRun& a) {
   }
   CompletedApp c{a.id, a.spec_index, a.spec->name, a.arrival, a.completed};
   c.phase_ns = a.phase_ns;
+  c.tenant = a.tenant;
   completed_.push_back(c);
   VS_DEBUG << board_.name() << ": " << c.name << "#" << a.id
            << " complete, response " << c.response_ms() << " ms";

@@ -78,6 +78,7 @@ struct AppRun {
   int id = -1;
   const apps::AppSpec* spec = nullptr;
   int spec_index = -1;
+  int tenant = -1;  ///< serving plane: owning tenant (-1 = closed workload)
   sim::SimTime arrival = 0;   ///< cluster arrival (response time base)
   sim::SimTime admitted = 0;  ///< when this board received the app
   int batch = 1;
@@ -181,6 +182,9 @@ struct CompletedApp {
   std::string name;
   sim::SimTime arrival;
   sim::SimTime completed;
+  /// Serving plane: owning tenant (-1 = closed workload). Survives
+  /// migration and recovery with the app.
+  int tenant = -1;
   /// Per-phase attribution; all zero unless phase accounting was enabled,
   /// in which case the entries sum exactly to completed - arrival.
   std::array<sim::SimDuration, kAppPhaseCount> phase_ns{};
@@ -203,7 +207,8 @@ class BoardRuntime {
   /// batch *streaming*: item i only becomes available at
   /// arrival + i * item_interval (dynamic batch processing, §III-A).
   int submit(const apps::AppSpec& spec, int spec_index, int batch,
-             sim::SimTime arrival, sim::SimDuration item_interval = 0);
+             sim::SimTime arrival, sim::SimDuration item_interval = 0,
+             int tenant = -1);
 
   /// Admits an application that already made progress elsewhere (live
   /// migration target side): `items_done` carries per-task completed item
@@ -332,6 +337,7 @@ class BoardRuntime {
   struct MigratedApp {
     int spec_index;
     int batch;
+    int tenant = -1;  ///< owning tenant, carried to the destination board
     sim::SimTime arrival;
     sim::SimDuration item_interval;  ///< streaming source period (0 = staged)
     std::int64_t state_bytes;

@@ -1,0 +1,118 @@
+#include "serve/admission.h"
+
+#include <cassert>
+#include <limits>
+
+namespace vs::serve {
+
+AdmissionController::AdmissionController(const ServeConfig& config)
+    : config_(config), tenants_(config.tenants.size()) {
+  for (const Tenant& t : config.tenants) {
+    assert(t.weight > 0 && "a zero-weight tenant would never drain");
+    assert(t.slo_class >= 0 &&
+           t.slo_class < static_cast<int>(config.classes.size()));
+    (void)t;
+  }
+}
+
+AdmissionController::Action AdmissionController::on_arrival(
+    const ServeArrival& a) {
+  auto i = static_cast<std::size_t>(a.tenant);
+  TenantState& t = tenants_[i];
+  const Tenant& spec = config_.tenants[i];
+  ++t.submitted;
+  if (t.queue.empty() && t.outstanding < spec.quota &&
+      inflight_ < config_.max_inflight) {
+    ++t.admitted;
+    ++t.outstanding;
+    ++inflight_;
+    dispatch_(a);
+    return Action::kAdmit;
+  }
+  if (static_cast<int>(t.queue.size()) < spec.defer_limit) {
+    ++t.deferred;
+    t.queue.push_back(a);
+    // The arrival may be admissible immediately (quota room but a backlog
+    // ahead of it, or capacity freed without a completion): pump once so
+    // the FIFO order is preserved without waiting for the next completion.
+    pump();
+    return Action::kDefer;
+  }
+  ++t.rejected;
+  return Action::kReject;
+}
+
+void AdmissionController::on_complete(int tenant) {
+  TenantState& t = tenants_[static_cast<std::size_t>(tenant)];
+  assert(t.outstanding > 0);
+  --t.outstanding;
+  --inflight_;
+  pump();
+}
+
+bool AdmissionController::eligible(std::size_t i) const {
+  const TenantState& t = tenants_[i];
+  return !t.queue.empty() && t.outstanding < config_.tenants[i].quota;
+}
+
+void AdmissionController::pump() {
+  while (inflight_ < config_.max_inflight) {
+    // SLO-aware ordering: only the most urgent priority level with waiting,
+    // under-quota tenants competes for this slot.
+    int best_priority = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      if (!eligible(i)) continue;
+      int p = config_.classes[static_cast<std::size_t>(
+                                  config_.tenants[i].slo_class)]
+                  .priority;
+      if (p < best_priority) best_priority = p;
+    }
+    if (best_priority == std::numeric_limits<int>::max()) return;
+
+    // Weighted deficit round-robin within the priority level: the largest
+    // deficit wins (ties to the lowest tenant index); when nobody has a
+    // whole credit, everybody waiting at this level gets topped up by its
+    // weight. Weights are positive, so the refresh loop terminates.
+    for (;;) {
+      std::size_t winner = tenants_.size();
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (!eligible(i)) continue;
+        if (config_.classes[static_cast<std::size_t>(
+                                config_.tenants[i].slo_class)]
+                .priority != best_priority) {
+          continue;
+        }
+        if (winner == tenants_.size() ||
+            tenants_[i].deficit > tenants_[winner].deficit) {
+          winner = i;
+        }
+      }
+      assert(winner < tenants_.size());
+      if (tenants_[winner].deficit >= 1.0) {
+        TenantState& t = tenants_[winner];
+        t.deficit -= 1.0;
+        ServeArrival a = t.queue.front();
+        t.queue.pop_front();
+        // Classic DRR: an emptied queue forfeits its banked credit so an
+        // idle tenant cannot hoard capacity against the others.
+        if (t.queue.empty()) t.deficit = 0.0;
+        ++t.admitted;
+        ++t.outstanding;
+        ++inflight_;
+        dispatch_(a);
+        break;
+      }
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (!eligible(i)) continue;
+        if (config_.classes[static_cast<std::size_t>(
+                                config_.tenants[i].slo_class)]
+                .priority != best_priority) {
+          continue;
+        }
+        tenants_[i].deficit += config_.tenants[i].weight;
+      }
+    }
+  }
+}
+
+}  // namespace vs::serve

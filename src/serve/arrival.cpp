@@ -1,0 +1,40 @@
+#include "serve/arrival.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vs::serve {
+
+std::vector<ServeArrival> generate_trace(const ServeConfig& config,
+                                         int suite_size) {
+  assert(suite_size >= 1);
+  std::vector<ServeArrival> trace;
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    const Tenant& tenant = config.tenants[i];
+    assert(tenant.min_batch >= 1 && tenant.min_batch <= tenant.max_batch);
+    util::Rng rng = config.stream("arrivals/" + tenant.name);
+    for (sim::SimTime t : tenant.arrivals.generate(config.horizon, rng)) {
+      ServeArrival a;
+      a.tenant = static_cast<int>(i);
+      a.app.spec_index = static_cast<int>(rng.uniform_int(0, suite_size - 1));
+      a.app.batch = static_cast<int>(
+          rng.uniform_int(tenant.min_batch, tenant.max_batch));
+      a.app.arrival = t;
+      a.app.tenant = a.tenant;
+      trace.push_back(a);
+    }
+  }
+  // Merge the per-tenant streams into one timeline. stable_sort keeps each
+  // tenant's arrivals in generation order and breaks equal-time ties by
+  // tenant index — fully deterministic.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const ServeArrival& a, const ServeArrival& b) {
+                     if (a.app.arrival != b.app.arrival) {
+                       return a.app.arrival < b.app.arrival;
+                     }
+                     return a.tenant < b.tenant;
+                   });
+  return trace;
+}
+
+}  // namespace vs::serve

@@ -1,0 +1,27 @@
+// Open-loop trace generation for the serving plane: expands every tenant's
+// arrival process into one merged, tenant-tagged arrival trace.
+#pragma once
+
+#include <vector>
+
+#include "apps/task.h"
+#include "serve/tenant.h"
+
+namespace vs::serve {
+
+/// One tenant-tagged arrival. `app.tenant` carries the tenant index too —
+/// it rides through the board runtime so completions can be attributed.
+struct ServeArrival {
+  int tenant = -1;
+  apps::AppArrival app;
+};
+
+/// Generates the full trace for a config: each tenant's arrival times come
+/// from `config.stream("arrivals/<tenant-name>")` and its spec/batch draws
+/// from the same stream, then all tenants merge into one ascending
+/// timeline (ties broken by tenant order). Pure function of (config,
+/// suite_size) — no simulator, no cluster state.
+[[nodiscard]] std::vector<ServeArrival> generate_trace(
+    const ServeConfig& config, int suite_size);
+
+}  // namespace vs::serve

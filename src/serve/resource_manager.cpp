@@ -1,0 +1,130 @@
+#include "serve/resource_manager.h"
+
+#include <cassert>
+
+namespace vs::serve {
+
+ResourceManager::ResourceManager(sim::Simulator& sim,
+                                 cluster::Cluster& cluster,
+                                 const ServeConfig& config,
+                                 obs::MetricsRegistry* metrics)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      admission_(config),
+      tenant_counters_(config.tenants.size()) {
+  assert(config.enabled() && "build a ResourceManager only for enabled configs");
+  admission_.set_dispatch([this](const ServeArrival& a) { dispatch(a); });
+  cluster_.set_on_app_complete(
+      [this](const runtime::CompletedApp& c) { on_complete(c); });
+  if (metrics != nullptr) {
+    for (const Tenant& t : config.tenants) {
+      obs::Labels labels{{"tenant", t.name}};
+      m_admitted_.emplace_back(
+          &metrics->counter("vs_tenant_admitted_total", labels));
+      m_rejected_.emplace_back(
+          &metrics->counter("vs_tenant_rejected_total", labels));
+      m_deferred_.emplace_back(
+          &metrics->counter("vs_tenant_deferred_total", labels));
+      m_completed_.emplace_back(
+          &metrics->counter("vs_tenant_completed_total", labels));
+      m_slo_miss_.emplace_back(
+          &metrics->counter("vs_tenant_slo_miss_total", labels));
+    }
+    for (const SloClass& c : config.classes) {
+      m_response_.emplace_back(&metrics->histogram(
+          "vs_tenant_response_ms", obs::default_ms_bounds(),
+          obs::Labels{{"class", c.name}}));
+    }
+  } else {
+    m_admitted_.resize(config.tenants.size());
+    m_rejected_.resize(config.tenants.size());
+    m_deferred_.resize(config.tenants.size());
+    m_completed_.resize(config.tenants.size());
+    m_slo_miss_.resize(config.tenants.size());
+    m_response_.resize(config.classes.size());
+  }
+}
+
+void ResourceManager::start(int suite_size) {
+  std::vector<ServeArrival> trace = generate_trace(config_, suite_size);
+  arrivals_ = static_cast<std::int64_t>(trace.size());
+  for (const ServeArrival& a : trace) {
+    sim_.schedule_at(a.app.arrival, [this, a] { on_arrival(a); });
+  }
+}
+
+void ResourceManager::on_arrival(const ServeArrival& a) {
+  auto i = static_cast<std::size_t>(a.tenant);
+  switch (admission_.on_arrival(a)) {
+    case AdmissionController::Action::kAdmit:
+      break;  // dispatch() already counted the admission
+    case AdmissionController::Action::kDefer:
+      m_deferred_[i].add();
+      break;
+    case AdmissionController::Action::kReject:
+      m_rejected_[i].add();
+      break;
+  }
+}
+
+void ResourceManager::dispatch(const ServeArrival& a) {
+  // Counted here, not in on_arrival: deferred arrivals admitted later by
+  // the admission pump dispatch through this same path, and the counter
+  // must agree with AdmissionController's per-tenant `admitted` stat.
+  m_admitted_[static_cast<std::size_t>(a.tenant)].add();
+  runtime::BoardRuntime* preferred = nullptr;
+  if (config_.affinity_routing) {
+    // Butler-style routing: among the active pool (fixed order, so ties
+    // resolve identically under both kernels), minimise 2*load minus an
+    // affinity bonus for boards already running the same spec — a warm
+    // board wins only while it is at most half an app busier.
+    int best = 0;
+    for (runtime::BoardRuntime* rt : cluster_.active_runtimes()) {
+      int score = 2 * rt->active_apps();
+      for (const runtime::AppRun& r : rt->apps()) {
+        if (r.spec != nullptr && !r.done() &&
+            r.spec_index == a.app.spec_index) {
+          score -= 1;
+          break;
+        }
+      }
+      if (preferred == nullptr || score < best) {
+        preferred = rt;
+        best = score;
+      }
+    }
+  }
+  cluster_.dispatch_arrival(a.app, preferred);
+}
+
+void ResourceManager::on_complete(const runtime::CompletedApp& c) {
+  // The closed benches (tenant == -1) share the cluster; only serve-plane
+  // jobs touch admission capacity or the tenant accounts.
+  if (c.tenant < 0) return;
+  auto i = static_cast<std::size_t>(c.tenant);
+  ++completions_;
+  TenantCounters& tc = tenant_counters_[i];
+  ++tc.completed;
+  const double response_ms = c.response_ms();
+  tc.response_ms.push_back(response_ms);
+  m_completed_[i].add();
+  const auto cls =
+      static_cast<std::size_t>(config_.tenants[i].slo_class);
+  m_response_[cls].observe(response_ms);
+  if (response_ms > sim::to_ms(config_.classes[cls].latency_target)) {
+    ++tc.slo_miss;
+    m_slo_miss_[i].add();
+  }
+  // Releasing the slot may admit deferred work, which dispatches inside
+  // this coordinator-pinned completion event — deterministic under both
+  // kernels.
+  admission_.on_complete(c.tenant);
+  if (config_.rebalance &&
+      ++completions_since_rebalance_ >= config_.rebalance_period) {
+    completions_since_rebalance_ = 0;
+    cluster_.rebalance_active(config_.rebalance_spread);
+  }
+}
+
+}  // namespace vs::serve

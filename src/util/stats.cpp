@@ -94,6 +94,7 @@ Summary summarize(const std::vector<double>& values) {
   s.p50 = percentile_sorted(sorted, 0.50);
   s.p95 = percentile_sorted(sorted, 0.95);
   s.p99 = percentile_sorted(sorted, 0.99);
+  s.p999 = percentile_sorted(sorted, 0.999);
   return s;
 }
 

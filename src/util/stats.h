@@ -40,13 +40,14 @@ class RunningStats {
 [[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
                                        double q);
 
-/// Convenience summary over a sample: mean, p50, p95, p99, min, max.
+/// Convenience summary over a sample: mean, p50, p95, p99, p99.9, min, max.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double min = 0.0;
   double max = 0.0;
 };
