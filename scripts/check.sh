@@ -101,6 +101,21 @@ grep -q 'vs_tenant_response_ms' build/mt_smoke.prom
 # kernel must reproduce the serial CSV byte for byte.
 diff build/mt_serial.csv build/mt_sharded.csv
 
+echo "== rack chaos smoke (correlated failures, serial vs sharded) =="
+# The rack sweep writes its CSV into the working directory; run from
+# build/ so it cannot clobber a committed file. The sharded kernel must
+# reproduce the serial rack sweep byte for byte, and the export must
+# carry the rack-event counter (registered only when domains are set).
+(cd build && ./bench/ext_fault_resilience --racks 2 --apps 12 --seqs 1 \
+  --metrics-out rack_smoke > rack_serial.out &&
+  mv ext_fault_resilience_rack.csv rack_serial.csv)
+(cd build && VS_KERNEL_JOBS=4 ./bench/ext_fault_resilience --racks 2 \
+  --apps 12 --seqs 1 > rack_sharded.out &&
+  mv ext_fault_resilience_rack.csv rack_sharded.csv)
+grep -q 'vs_rack_events_total' build/rack_smoke.prom
+grep -q 'vs_recovery_spare_exhausted_total' build/rack_smoke.prom
+diff build/rack_serial.csv build/rack_sharded.csv
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== ThreadSanitizer: sweep runner + sharded kernel =="
   cmake -B build-tsan -S . -DVS_SANITIZE=thread
@@ -111,7 +126,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # goes under the race detector.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/versaslot_tests \
-    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*:*SerialAndShardedKernelsEmitIdenticalTraceAndJournal*:ServePlane.SerialAndShardedKernelsBitIdentical'
+    --gtest_filter='ThreadPool.*:SweepDeterminism.*:SweepEdgeCases.*:ShardedKernel.*:*ShardedDifferential*:ShardedGolden.*:*ShardedBoundaryFuzz*:*ShardedKernelMatchesSerial*:*SerialShardedAndInstrumentedBitIdentical*:*SerialAndShardedKernelsEmitIdenticalTraceAndJournal*:ServePlane.SerialAndShardedKernelsBitIdentical:*ChaosCampaign*:RackGolden.*'
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -119,7 +134,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVS_SANITIZE=address
   cmake --build build-asan -j "$JOBS" --target versaslot_tests
   ./build-asan/tests/versaslot_tests \
-    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:TraceRecorderCapacity.*:TraceHub.*:RunJournal.*:PrometheusEscaping.*:PhaseAccounting.*:FaultScenario.*:FaultPlane.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*:ArrivalProcess.*:ServeAdmission.*:ServePlane.*'
+    --gtest_filter='InlineEvent.*:EventQueue*:Simulator.*:Core.*:MetricsRegistry.*:MetricsHandles.*:Histogram.*:PrometheusExport.*:JsonlExport.*:RunReportExport.*:Sampler.*:Telemetry*:ChromeTraceExport.*:TraceRecorder.*:TraceRecorderCapacity.*:TraceHub.*:RunJournal.*:PrometheusEscaping.*:PhaseAccounting.*:FaultScenario.*:FaultPlane.*:FaultPlaneValidation.*:AuroraFlap.*:SlotSeu.*:BoardCrash.*:FaultRecovery.*:FaultDeterminism.*:RackEvents.*:RackGolden.*:*ChaosCampaign*:SparePoolExhausted.*:Checkpoint*:SingleBoardFaults.*:DirtyMapUnit.*:Precopy*:ArrivalProcess.*:ServeAdmission.*:ServePlane.*'
 fi
 
 if [[ "${SKIP_COV:-0}" != "1" ]]; then

@@ -116,6 +116,12 @@ Cluster::Cluster(sim::Simulator& sim, const std::vector<apps::AppSpec>& suite,
           obs::CounterHandle{&reg.counter("vs_recovery_shed_apps_total")};
       m_readmitted_ =
           obs::CounterHandle{&reg.counter("vs_recovery_readmissions_total")};
+      if (!options_.faults.domains.empty()) {
+        // Registered only when failure domains exist, so rack-free exports
+        // stay byte-identical.
+        m_spare_exhausted_ = obs::CounterHandle{
+            &reg.counter("vs_recovery_spare_exhausted_total")};
+      }
       m_evac_latency_ = obs::HistogramHandle{&reg.histogram(
           "vs_recovery_evac_latency_ms", obs::default_ms_bounds())};
       m_mttr_ = obs::HistogramHandle{
@@ -288,7 +294,14 @@ void Cluster::dispatch_arrival(const apps::AppArrival& a,
       preferred != nullptr ? preferred : least_loaded_or_null();
   if (rt == nullptr) {
     // Every board is down (fault plane only — the fault-free cluster
-    // always has an active pool). Hold the arrival for re-admission.
+    // always has an active pool). Under kShed the arrival is refused at
+    // the door like any recovery-backlog arrival — a full outage is the
+    // deepest recovery backlog there is; otherwise hold for re-admission.
+    if (throttle == RecoveryOptions::Throttle::kShed) {
+      ++recovery_stats_.arrivals_shed;
+      m_throttle_shed_.add();
+      return;
+    }
     MigratedApp m;
     m.spec_index = a.spec_index;
     m.batch = a.batch;
@@ -789,6 +802,33 @@ void Cluster::on_health_event(const faults::HealthEvent& e) {
                       std::to_string(evacuable.size() + killed.size()) +
                           " displaced");
       }
+      if (!options_.faults.domains.empty()) {
+        // Rack mode: crashes landing inside one detection window — a rack
+        // event's member losses, jittered or not — coalesce into one
+        // batched recovery action measured from the first crash. Gated on
+        // failure domains so independent-hazard scenarios keep the
+        // per-crash path (and its outputs) bit-for-bit.
+        if (batch_open_) {
+          std::move(evacuable.begin(), evacuable.end(),
+                    std::back_inserter(batch_.evacuable));
+          std::move(killed.begin(), killed.end(),
+                    std::back_inserter(batch_.killed));
+          break;
+        }
+        batch_open_ = true;
+        batch_.evacuable = std::move(evacuable);
+        batch_.killed = std::move(killed);
+        batch_.crash_time = e.time;
+        batch_.flow = flow;
+        sim_.schedule(options_.recovery.detection_latency, [this] {
+          batch_open_ = false;
+          PendingBatch batch = std::move(batch_);
+          batch_ = PendingBatch{};
+          handle_crash(std::move(batch.evacuable), std::move(batch.killed),
+                       batch.crash_time, batch.flow);
+        });
+        break;
+      }
       // Recovery acts after the detection latency (heartbeat + decision).
       sim_.schedule(options_.recovery.detection_latency,
                     [this, evacuable = std::move(evacuable),
@@ -797,6 +837,16 @@ void Cluster::on_health_event(const faults::HealthEvent& e) {
                       handle_crash(std::move(evacuable), std::move(killed),
                                    crash_time, flow);
                     });
+      break;
+    }
+    case faults::FaultKind::kRackEvent: {
+      // The member crashes arrive as their own kBoardCrash events right
+      // after this record; the rack event itself is pure bookkeeping.
+      ++recovery_stats_.rack_events;
+      if (obs_ != nullptr && obs_->journal_on()) {
+        obs_->journal(e.time, obs::JournalEvent::kCrash, "cluster", -1, {},
+                      0, "rack event, domain " + std::to_string(e.board));
+      }
       break;
     }
     case faults::FaultKind::kBoardReboot: {
@@ -949,6 +999,16 @@ void Cluster::handle_crash(std::vector<MigratedApp> evacuable,
       switch_events_.push_back(event);
       m_switches_.add();
       VS_WARN << "failover switch -> " << config_name(spare);
+    } else {
+      // Spare pool exhausted: origin AND preferred destination died (a
+      // rack spanning both pools) or the spare is still draining. Graceful
+      // degradation: the displaced apps queue for re-admission at the next
+      // reboot below, and RecoveryOptions::throttle defers/sheds fresh
+      // arrivals behind that backlog in the meantime.
+      ++recovery_stats_.spare_exhausted;
+      m_spare_exhausted_.add();
+      VS_WARN << "spare pool exhausted: " << keep.size()
+              << " displaced apps queue for re-admission";
     }
   }
 

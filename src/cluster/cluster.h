@@ -82,6 +82,12 @@ struct RecoveryStats {
   int apps_lost = 0;       ///< no recovery: died with the board
   int apps_shed = 0;       ///< degradation: dropped Little-slot work
   int readmissions = 0;    ///< placed from the re-admission queue
+  int rack_events = 0;     ///< common-mode rack events (kRackEvent) observed
+  /// Crash batches that found the whole active pool down and the spare
+  /// pool dead or draining too: no board anywhere to fail over to. The
+  /// displaced apps queue for re-admission and the throttle (if on)
+  /// defers/sheds fresh arrivals behind them.
+  int spare_exhausted = 0;
   /// Admission throttle (RecoveryOptions::throttle; zero when kOff).
   int arrivals_deferred = 0;  ///< held behind the readmission backlog
   int arrivals_shed = 0;      ///< dropped while recovery was in progress
@@ -333,6 +339,18 @@ class Cluster {
     MigratedApp app;
     std::shared_ptr<CrashTicket> ticket;  ///< null for deferred arrivals
   };
+  /// Rack-mode batched detection: board losses landing inside one
+  /// detection window (the signature of a common-mode rack event) coalesce
+  /// into one recovery action — one shed decision, one failover, one
+  /// evacuation transfer, one MTTR ticket measured from the *first* crash.
+  /// Only built when the scenario carries failure domains; independent-
+  /// hazard scenarios keep the per-crash path bit-for-bit.
+  struct PendingBatch {
+    std::vector<MigratedApp> evacuable;
+    std::vector<MigratedApp> killed;
+    sim::SimTime crash_time = 0;  ///< first crash of the batch
+    std::uint64_t flow = 0;       ///< first crash's causal flow
+  };
   void on_health_event(const faults::HealthEvent& e);
   void handle_crash(std::vector<MigratedApp> evacuable,
                     std::vector<MigratedApp> killed, sim::SimTime crash_time,
@@ -371,6 +389,8 @@ class Cluster {
   std::vector<core::SwitchLoop::Config> plane_configs_;
   std::deque<ReadmitEntry> readmit_queue_;
   RecoveryStats recovery_stats_;
+  PendingBatch batch_;       ///< rack-mode crash batch being coalesced
+  bool batch_open_ = false;  ///< batch_ has a handler scheduled
 
   // Telemetry: switch-loop instruments (no-ops when options.metrics null).
   obs::CounterHandle m_dswitch_evals_;   ///< vs_dswitch_evaluations_total
@@ -386,6 +406,8 @@ class Cluster {
   obs::CounterHandle m_lost_;         ///< vs_recovery_lost_apps_total
   obs::CounterHandle m_shed_;         ///< vs_recovery_shed_apps_total
   obs::CounterHandle m_readmitted_;   ///< vs_recovery_readmissions_total
+  /// vs_recovery_spare_exhausted_total (failure domains only).
+  obs::CounterHandle m_spare_exhausted_;
   obs::HistogramHandle m_evac_latency_;  ///< vs_recovery_evac_latency_ms
   obs::HistogramHandle m_mttr_;          ///< vs_recovery_mttr_ms
   // Admission-throttle instruments (registered only when

@@ -10,7 +10,16 @@ namespace vs::faults {
 FaultPlane::FaultPlane(sim::Simulator& sim, FaultScenario scenario)
     : sim_(sim),
       scenario_(std::move(scenario)),
-      flap_rng_(scenario_.stream("link/flap")) {}
+      flap_rng_(scenario_.stream("link/flap")) {
+  domains_.reserve(scenario_.domains.size());
+  for (std::size_t d = 0; d < scenario_.domains.size(); ++d) {
+    const FailureDomain& dom = scenario_.domains[d];
+    DomainRec rec;
+    rec.rng = scenario_.stream(
+        "rack/" + (dom.name.empty() ? std::to_string(d) : dom.name));
+    domains_.push_back(std::move(rec));
+  }
+}
 
 int FaultPlane::add_board(fpga::Board& board) {
   int id = static_cast<int>(boards_.size());
@@ -45,6 +54,12 @@ void FaultPlane::bind_metrics(obs::MetricsRegistry& registry) {
     m_recovered_[i] = obs::CounterHandle{&registry.counter(
         "vs_faults_recovered_total", {{"kind", to_string(repairs[i])}})};
   }
+  if (!scenario_.domains.empty()) {
+    // Registered only when failure domains exist, so every rack-free
+    // export stays byte-identical.
+    m_rack_events_ =
+        obs::CounterHandle{&registry.counter("vs_rack_events_total")};
+  }
   for (BoardRec& rec : boards_) {
     rec.available = obs::GaugeHandle{&registry.gauge(
         "vs_board_available", {{"board", rec.board->name()}})};
@@ -54,6 +69,7 @@ void FaultPlane::bind_metrics(obs::MetricsRegistry& registry) {
 
 void FaultPlane::start() {
   for (const FaultEvent& e : scenario_.timeline) {
+    if (!validate_scripted(e)) continue;
     sim_.schedule_at(e.time, [this, e] { apply_scripted(e); });
   }
   for (int b = 0; b < board_count(); ++b) {
@@ -61,6 +77,39 @@ void FaultPlane::start() {
     arm_seu(b);
   }
   arm_flap();
+  for (int d = 0; d < static_cast<int>(domains_.size()); ++d) arm_rack(d);
+}
+
+bool FaultPlane::validate_scripted(const FaultEvent& e) {
+  bool ok = true;
+  switch (e.kind) {
+    case FaultKind::kBoardCrash:
+    case FaultKind::kBoardReboot:
+    case FaultKind::kSlotSeu:
+      ok = e.board >= 0 && e.board < board_count();
+      break;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      break;  // board/slot ignored
+    case FaultKind::kRackEvent:
+      ok = e.board >= 0 &&
+           e.board < static_cast<int>(scenario_.domains.size());
+      break;
+  }
+  // A scripted SEU slot beyond the board's fabric is also rejected here
+  // (negative slots mean "draw uniformly" and stay valid).
+  if (ok && e.kind == FaultKind::kSlotSeu && e.slot >= 0) {
+    const BoardRec& rec = boards_[static_cast<std::size_t>(e.board)];
+    ok = e.slot < static_cast<int>(rec.board->slots().size());
+  }
+  if (!ok) {
+    ++rejected_scripted_;
+    VS_WARN << "rejecting scripted " << to_string(e.kind) << " at t=" << e.time
+            << ": board " << e.board << " / slot " << e.slot
+            << " out of range for " << board_count() << " boards, "
+            << scenario_.domains.size() << " domains";
+  }
+  return ok;
 }
 
 sim::SimDuration FaultPlane::exp_delay(util::Rng& rng, double rate_per_s) {
@@ -103,6 +152,15 @@ void FaultPlane::arm_flap() {
   sim_.schedule_at(next, [this] { fire_flap(); });
 }
 
+void FaultPlane::arm_rack(int domain) {
+  double rate = scenario_.hazards.rack_event_per_s;
+  if (rate <= 0) return;
+  DomainRec& rec = domains_[static_cast<std::size_t>(domain)];
+  sim::SimTime next = sim_.now() + exp_delay(rec.rng, rate);
+  if (next > scenario_.horizon) return;
+  sim_.schedule_at(next, [this, domain] { fire_rack(domain); });
+}
+
 void FaultPlane::fire_crash(int board) {
   if (boards_[static_cast<std::size_t>(board)].up) inject_crash(board);
   arm_crash(board);
@@ -116,6 +174,11 @@ void FaultPlane::fire_seu(int board) {
 void FaultPlane::fire_flap() {
   if (link_up_) inject_link_down();
   arm_flap();
+}
+
+void FaultPlane::fire_rack(int domain) {
+  inject_rack_event(domain);
+  arm_rack(domain);
 }
 
 void FaultPlane::apply_scripted(const FaultEvent& e) {
@@ -135,6 +198,9 @@ void FaultPlane::apply_scripted(const FaultEvent& e) {
     case FaultKind::kSlotSeu:
       if (board_up(e.board)) inject_seu(e.board, e.slot);
       break;
+    case FaultKind::kRackEvent:
+      inject_rack_event(e.board);
+      break;
   }
 }
 
@@ -145,6 +211,7 @@ void FaultPlane::emit(FaultKind kind, int board, int slot) {
     case FaultKind::kSlotSeu: m_injected_[2].add(); break;
     case FaultKind::kBoardReboot: m_recovered_[0].add(); break;
     case FaultKind::kLinkUp: m_recovered_[1].add(); break;
+    case FaultKind::kRackEvent: m_rack_events_.add(); break;
   }
   HealthEvent event{sim_.now(), kind, board, slot};
   injected_.push_back(event);
@@ -202,6 +269,49 @@ void FaultPlane::inject_seu(int board, int slot) {
   if (slot >= slot_count) return;  // scripted slot beyond this fabric
   VS_WARN << rec.board->name() << ": SEU injected in slot " << slot;
   emit(FaultKind::kSlotSeu, board, slot);
+}
+
+void FaultPlane::inject_rack_event(int domain) {
+  const FailureDomain& dom =
+      scenario_.domains.at(static_cast<std::size_t>(domain));
+  DomainRec& rec = domains_[static_cast<std::size_t>(domain)];
+  ++rack_events_;
+  VS_WARN << "rack event injected in domain "
+          << (dom.name.empty() ? std::to_string(domain) : dom.name) << " ("
+          << dom.boards.size() << " boards)";
+  // The rack record itself goes out first so handlers can batch the member
+  // crashes that follow; board carries the domain index.
+  emit(FaultKind::kRackEvent, domain, -1);
+  // Member draws happen in declaration order from the single rack stream:
+  // survival first, then (for the doomed) a jitter offset. A member that
+  // is already down still consumes its survival draw, so the stream's
+  // consumption pattern — and with it every later rack schedule — cannot
+  // depend on transient board state beyond what the seed already fixed.
+  for (int member : dom.boards) {
+    if (member < 0 || member >= board_count()) {
+      VS_WARN << "rack domain member " << member << " out of range for "
+              << board_count() << " boards; skipping";
+      continue;
+    }
+    bool survives = dom.survival_probability > 0 &&
+                    rec.rng.uniform01() < dom.survival_probability;
+    if (survives) continue;
+    sim::SimDuration jitter = 0;
+    if (dom.jitter > 0) {
+      jitter = static_cast<sim::SimDuration>(
+          rec.rng.uniform01() * static_cast<double>(dom.jitter));
+    }
+    if (!boards_[static_cast<std::size_t>(member)].up) continue;
+    if (jitter == 0) {
+      inject_crash(member);
+    } else {
+      sim_.schedule(jitter, [this, member] {
+        if (boards_[static_cast<std::size_t>(member)].up) {
+          inject_crash(member);
+        }
+      });
+    }
+  }
 }
 
 double FaultPlane::board_availability(int board, sim::SimTime now) const {

@@ -242,6 +242,11 @@ RunResult run_single_board(SystemKind kind,
           ++result.recovery.slot_seus;
           if (!rt.crashed()) rt.inject_slot_seu(e.slot);
           break;
+        case faults::FaultKind::kRackEvent:
+          // The (single-board) rack's member crash follows as its own
+          // kBoardCrash event; the rack record is bookkeeping.
+          ++result.recovery.rack_events;
+          break;
         case faults::FaultKind::kLinkDown:
         case faults::FaultKind::kLinkUp:
           break;  // a single board has no Aurora link

@@ -192,6 +192,265 @@ TEST(FaultPlane, ScenarioPcapModelExportsLoadFailures) {
             static_cast<double>(board.pcap().stats().load_failures));
 }
 
+// ------------------------------------------------------ scripted validation
+
+TEST(FaultPlaneValidation, OutOfRangeScriptedEventsAreRejected) {
+  // Regression: out-of-range scripted indices used to flow through
+  // unchecked into the injection paths. start()'s validation pass must
+  // drop them (counted, warned) while valid entries still run.
+  sim::Simulator sim;
+  faults::FaultScenario s;
+  s.timeline.push_back(
+      {sim::ms(1.0), faults::FaultKind::kBoardCrash, 5, -1});  // board OOR
+  s.timeline.push_back(
+      {sim::ms(2.0), faults::FaultKind::kSlotSeu, 0, 99});  // slot OOR
+  s.timeline.push_back(
+      {sim::ms(3.0), faults::FaultKind::kRackEvent, 0, -1});  // no domains
+  s.timeline.push_back(
+      {sim::ms(4.0), faults::FaultKind::kBoardCrash, -1, -1});  // negative
+  s.timeline.push_back(
+      {sim::ms(5.0), faults::FaultKind::kBoardCrash, 0, -1});  // valid
+  faults::FaultPlane plane(sim, s);
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  plane.add_board(board);
+  std::vector<faults::HealthEvent> seen;
+  plane.set_handler([&](const faults::HealthEvent& e) { seen.push_back(e); });
+  plane.start();
+  sim.run();
+  EXPECT_EQ(plane.rejected_scripted(), 4);
+  // Only the valid crash (and its automatic reboot) ran.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, faults::FaultKind::kBoardCrash);
+  EXPECT_EQ(seen[0].time, sim::ms(5.0));
+  EXPECT_EQ(seen[1].kind, faults::FaultKind::kBoardReboot);
+}
+
+TEST(FaultPlaneValidation, NegativeSeuSlotStillMeansDrawUniformly) {
+  sim::Simulator sim;
+  faults::FaultScenario s;
+  s.seed = 77;
+  s.timeline.push_back({sim::ms(1.0), faults::FaultKind::kSlotSeu, 0, -1});
+  faults::FaultPlane plane(sim, s);
+  fpga::Board board(sim, "b0", fpga::FabricConfig::only_little());
+  plane.add_board(board);
+  std::vector<faults::HealthEvent> seen;
+  plane.set_handler([&](const faults::HealthEvent& e) { seen.push_back(e); });
+  plane.start();
+  sim.run();
+  EXPECT_EQ(plane.rejected_scripted(), 0);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, faults::FaultKind::kSlotSeu);
+  EXPECT_GE(seen[0].slot, 0);
+  EXPECT_LT(seen[0].slot, static_cast<int>(board.slots().size()));
+}
+
+// -------------------------------------------------------------- RackEvents
+
+TEST(RackEvents, ScriptedRackEventCrashesEveryMemberTogether) {
+  sim::Simulator sim;
+  faults::FaultScenario s;
+  faults::FailureDomain dom;
+  dom.name = "r0";
+  dom.boards = {0, 1};
+  s.domains.push_back(dom);
+  s.timeline.push_back({sim::ms(10.0), faults::FaultKind::kRackEvent, 0, -1});
+  faults::FaultPlane plane(sim, s);
+  fpga::Board b0(sim, "b0", fpga::FabricConfig::only_little());
+  fpga::Board b1(sim, "b1", fpga::FabricConfig::big_little());
+  plane.add_board(b0);
+  plane.add_board(b1);
+  std::vector<faults::HealthEvent> seen;
+  plane.set_handler([&](const faults::HealthEvent& e) { seen.push_back(e); });
+  plane.start();
+  sim.run();
+  EXPECT_EQ(plane.rack_events(), 1);
+  // One kRackEvent record (board = domain index), then both member
+  // crashes at the same instant (jitter 0), then both reboots.
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen[0].kind, faults::FaultKind::kRackEvent);
+  EXPECT_EQ(seen[0].board, 0);
+  EXPECT_EQ(seen[1].kind, faults::FaultKind::kBoardCrash);
+  EXPECT_EQ(seen[1].board, 0);
+  EXPECT_EQ(seen[1].time, sim::ms(10.0));
+  EXPECT_EQ(seen[2].kind, faults::FaultKind::kBoardCrash);
+  EXPECT_EQ(seen[2].board, 1);
+  EXPECT_EQ(seen[2].time, sim::ms(10.0));
+  EXPECT_EQ(seen[3].kind, faults::FaultKind::kBoardReboot);
+  EXPECT_EQ(seen[4].kind, faults::FaultKind::kBoardReboot);
+}
+
+TEST(RackEvents, JitterStaysBoundedAndSurvivorsRideItOut) {
+  // With survival_probability = 1 every member survives; with jitter the
+  // non-survivor crashes land strictly inside (event, event + jitter].
+  sim::Simulator sim;
+  faults::FaultScenario s;
+  s.seed = 2025;
+  faults::FailureDomain all_survive;
+  all_survive.name = "lucky";
+  all_survive.boards = {0, 1};
+  all_survive.survival_probability = 1.0;
+  s.domains.push_back(all_survive);
+  faults::FailureDomain jittered;
+  jittered.name = "jit";
+  jittered.boards = {0, 1};
+  jittered.jitter = sim::ms(2.0);
+  s.domains.push_back(jittered);
+  s.timeline.push_back({sim::ms(5.0), faults::FaultKind::kRackEvent, 0, -1});
+  s.timeline.push_back({sim::ms(40.0), faults::FaultKind::kRackEvent, 1, -1});
+  faults::FaultPlane plane(sim, s);
+  fpga::Board b0(sim, "b0", fpga::FabricConfig::only_little());
+  fpga::Board b1(sim, "b1", fpga::FabricConfig::only_little());
+  plane.add_board(b0);
+  plane.add_board(b1);
+  plane.set_handler([](const faults::HealthEvent&) {});
+  plane.start();
+  sim.run();
+  EXPECT_EQ(plane.rack_events(), 2);
+  int crashes = 0;
+  for (const faults::HealthEvent& e : plane.injected()) {
+    if (e.kind != faults::FaultKind::kBoardCrash) continue;
+    ++crashes;
+    // Only the jittered rack produces crashes; all land inside its window.
+    EXPECT_GE(e.time, sim::ms(40.0));
+    EXPECT_LE(e.time, sim::ms(42.0));
+  }
+  EXPECT_EQ(crashes, 2);
+}
+
+TEST(RackEvents, HazardChainIsSeedDeterministicPerDomain) {
+  auto run_one = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    faults::FaultScenario s;
+    s.seed = seed;
+    s.hazards.rack_event_per_s = 3.0;
+    s.horizon = sim::seconds(4.0);
+    faults::FailureDomain dom;
+    dom.name = "r0";
+    dom.boards = {0};
+    s.domains.push_back(dom);
+    faults::FaultPlane plane(sim, s);
+    fpga::Board b0(sim, "b0", fpga::FabricConfig::only_little());
+    plane.add_board(b0);
+    plane.set_handler([](const faults::HealthEvent&) {});
+    plane.start();
+    sim.schedule_at(s.horizon, [] {});
+    sim.run();
+    std::vector<sim::SimTime> out;
+    for (const faults::HealthEvent& e : plane.injected()) {
+      if (e.kind == faults::FaultKind::kRackEvent) out.push_back(e.time);
+    }
+    return out;
+  };
+  auto first = run_one(2025);
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_EQ(first, run_one(2025));
+  EXPECT_NE(first, run_one(2026));  // the schedule follows the seed
+}
+
+// ------------------------------------------------- frozen rack goldens
+
+// Seed-2025 rack-event timeline for two single-board domains at 2 events
+// per rack-second over a 3 s horizon, with 1 ms member jitter — captured
+// from the serial kernel. The literals pin the "rack/<domain>" stream
+// derivation itself (inter-arrival, survival and jitter draws all come
+// from it); the SweepRunner replicas prove the same schedule falls out
+// bit-identically under sweep parallelism, mirroring the existing
+// hazard-stream goldens. Update ONLY for an intentional, documented
+// change to the stream rule.
+TEST(RackGolden, Seed2025RackScheduleIsFrozenAcrossSweepParallelism) {
+  struct Rec {
+    sim::SimTime time;
+    faults::FaultKind kind;
+    int board;
+    bool operator==(const Rec&) const = default;
+  };
+  auto schedule = [] {
+    sim::Simulator sim;
+    faults::FaultScenario s;
+    s.seed = 2025;
+    s.hazards.rack_event_per_s = 2.0;
+    s.horizon = sim::seconds(3.0);
+    for (int r = 0; r < 2; ++r) {
+      faults::FailureDomain dom;
+      dom.name = "r" + std::to_string(r);
+      dom.boards = {r};
+      dom.jitter = sim::ms(1.0);
+      s.domains.push_back(dom);
+    }
+    faults::FaultPlane plane(sim, s);
+    fpga::Board b0(sim, "b0", fpga::FabricConfig::only_little());
+    fpga::Board b1(sim, "b1", fpga::FabricConfig::only_little());
+    plane.add_board(b0);
+    plane.add_board(b1);
+    plane.set_handler([](const faults::HealthEvent&) {});
+    plane.start();
+    sim.schedule_at(s.horizon, [] {});
+    sim.run();
+    std::vector<Rec> out;
+    for (const faults::HealthEvent& e : plane.injected()) {
+      out.push_back({e.time, e.kind, e.board});
+    }
+    return out;
+  };
+  const std::vector<Rec> golden = {
+      {143222957, faults::FaultKind::kRackEvent, 0},
+      {143311148, faults::FaultKind::kBoardCrash, 0},
+      {379154325, faults::FaultKind::kRackEvent, 1},
+      {379601487, faults::FaultKind::kBoardCrash, 1},
+      // Rack events landing while the member is already down inject no
+      // second crash, but still consume their draws — later schedule
+      // points cannot depend on transient board state.
+      {1104312315, faults::FaultKind::kRackEvent, 1},
+      {1305628941, faults::FaultKind::kRackEvent, 1},
+      {2143311148, faults::FaultKind::kBoardReboot, 0},
+      {2379601487, faults::FaultKind::kBoardReboot, 1},
+      {2481503768, faults::FaultKind::kRackEvent, 0},
+      {2482240800, faults::FaultKind::kBoardCrash, 0},
+      {2747577560, faults::FaultKind::kRackEvent, 0},
+      {2911728739, faults::FaultKind::kRackEvent, 1},
+      {2912062170, faults::FaultKind::kBoardCrash, 1},
+      {4482240800, faults::FaultKind::kBoardReboot, 0},
+      {4912062170, faults::FaultKind::kBoardReboot, 1},
+  };
+  auto serial = schedule();
+  ASSERT_EQ(serial.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(serial[i].time, golden[i].time) << i;
+    EXPECT_EQ(serial[i].kind, golden[i].kind) << i;
+    EXPECT_EQ(serial[i].board, golden[i].board) << i;
+  }
+  metrics::SweepRunner runner(4);
+  auto cells = runner.map<std::vector<Rec>>(
+      8, [&](std::size_t) { return schedule(); });
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(cell == serial);
+  }
+}
+
+TEST(RackEvents, MetricRegistersOnlyWithDomains) {
+  // vs_rack_events_total must not exist in rack-free registries, so
+  // committed exports stay byte-identical.
+  auto has_rack_counter = [](const faults::FaultScenario& s) {
+    sim::Simulator sim;
+    obs::MetricsRegistry registry;
+    faults::FaultPlane plane(sim, s);
+    plane.bind_metrics(registry);
+    for (const auto& row : registry.counters()) {
+      if (row.name == "vs_rack_events_total") return true;
+    }
+    return false;
+  };
+  faults::FaultScenario rack_free;
+  rack_free.hazards.board_crash_per_s = 0.1;
+  EXPECT_FALSE(has_rack_counter(rack_free));
+  faults::FaultScenario racked;
+  faults::FailureDomain dom;
+  dom.name = "r0";
+  dom.boards = {0};
+  racked.domains.push_back(dom);
+  EXPECT_TRUE(has_rack_counter(racked));
+}
+
 // -------------------------------------------------------------- AuroraFlap
 
 TEST(AuroraFlap, AbortedTransferRetriesAfterBackoffAndCompletes) {
@@ -468,6 +727,7 @@ TEST(FaultRecovery, EvacuationViaLiveMigrationCompletesEveryApp) {
   EXPECT_EQ(result.recovery.mttr_count, 1);
   EXPECT_GT(result.recovery.mttr_ms_mean(), 0.0);
   EXPECT_LT(result.availability, 1.0);
+  test::expect_app_conservation(result);
 }
 
 TEST(FaultRecovery, NoRecoveryLosesTheDisplacedApps) {
@@ -479,6 +739,7 @@ TEST(FaultRecovery, NoRecoveryLosesTheDisplacedApps) {
   EXPECT_GT(result.recovery.apps_lost, 0);
   EXPECT_EQ(result.completed,
             result.submitted - result.recovery.apps_lost);
+  test::expect_app_conservation(result);
 }
 
 TEST(FaultRecovery, KillRestartCompletesButForfeitsProgress) {
@@ -491,6 +752,7 @@ TEST(FaultRecovery, KillRestartCompletesButForfeitsProgress) {
   EXPECT_EQ(restart.recovery.apps_lost, 0);
   EXPECT_EQ(restart.recovery.apps_evacuated, 0);  // progress never moves
   EXPECT_GT(restart.recovery.apps_restarted, 0);
+  test::expect_app_conservation(restart);
 }
 
 TEST(FaultRecovery, ShedThresholdDropsZeroProgressWorkFirst) {
@@ -506,6 +768,7 @@ TEST(FaultRecovery, ShedThresholdDropsZeroProgressWorkFirst) {
   // Started tenants (progress carriers) are never shed: every shed app was
   // zero-progress, so none were counted evacuated-then-shed.
   EXPECT_EQ(result.recovery.apps_lost, 0);
+  test::expect_app_conservation(result);
 }
 
 TEST(FaultRecovery, FaultFreeScenarioLeavesClusterOutputsUntouched) {

@@ -12,6 +12,7 @@
 #include "faults/scenario.h"
 #include "metrics/experiment.h"
 #include "obs/telemetry.h"
+#include "test_helpers.h"
 #include "workload/generator.h"
 
 namespace vs {
@@ -57,6 +58,34 @@ TEST(SingleBoardFaults, CrashHoldsAndReadmitsEveryDisplacedApp) {
   EXPECT_GT(result.recovery.mttr_ms_mean(), 0.0);
   EXPECT_LT(result.availability, 1.0);
   EXPECT_GT(result.availability, 0.0);
+  test::expect_app_conservation(result);
+}
+
+TEST(SingleBoardFaults, RackEventOnSingleBoardDomainCrashesAndReadmits) {
+  // A one-board failure domain: the scripted rack event crashes the only
+  // member through the ordinary crash path, the harness holds and
+  // re-admits, and the rack record is counted.
+  fpga::BoardParams params;
+  auto suite = apps::make_suite(params);
+  auto seq = fig5_sequence(17, 12);
+  metrics::RunOptions options;
+  options.faults.seed = 808;
+  faults::FailureDomain dom;
+  dom.name = "solo";
+  dom.boards = {0};
+  options.faults.domains.push_back(dom);
+  options.faults.timeline.push_back(
+      {sim::seconds(1.0), faults::FaultKind::kRackEvent, 0, -1});
+  options.faults.horizon = sim::seconds(20.0);
+  auto result = metrics::run_single_board(
+      metrics::SystemKind::kVersaBigLittle, suite, seq, options);
+  EXPECT_EQ(result.completed, result.submitted);
+  EXPECT_EQ(result.recovery.rack_events, 1);
+  EXPECT_EQ(result.recovery.boards_crashed, 1);
+  EXPECT_EQ(result.recovery.boards_rebooted, 1);
+  EXPECT_EQ(result.recovery.apps_lost, 0);
+  EXPECT_LT(result.availability, 1.0);
+  test::expect_app_conservation(result);
 }
 
 TEST(SingleBoardFaults, SeuHazardsFireAndRunsStillDrain) {
@@ -73,6 +102,7 @@ TEST(SingleBoardFaults, SeuHazardsFireAndRunsStillDrain) {
   EXPECT_GT(result.recovery.slot_seus, 0);
   EXPECT_EQ(result.recovery.boards_crashed, 0);
   EXPECT_EQ(result.availability, 1.0);  // SEUs never take the board down
+  test::expect_app_conservation(result);
 }
 
 TEST(SingleBoardFaults, CheckpointedCrashRestoresSnapshotProgress) {
@@ -95,6 +125,7 @@ TEST(SingleBoardFaults, CheckpointedCrashRestoresSnapshotProgress) {
   EXPECT_GT(result.recovery.apps_checkpoint_restored, 0);
   EXPECT_GT(result.counters.ckpt_snapshots, 0);
   EXPECT_GT(result.counters.ckpt_bytes, 0);
+  test::expect_app_conservation(result);
 
   // Without checkpointing the same displaced apps restart from scratch.
   metrics::RunOptions plain = options;

@@ -1,6 +1,10 @@
-// Shared helpers for tests: compact synthetic application builders and a
-// trivial manually-driven policy for exercising the BoardRuntime directly.
+// Shared helpers for tests: compact synthetic application builders, a
+// trivial manually-driven policy for exercising the BoardRuntime directly,
+// and the app conservation-law assertion shared by every fault/recovery
+// suite.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <functional>
 #include <string>
@@ -12,6 +16,23 @@
 #include "runtime/policy.h"
 
 namespace vs::test {
+
+/// The app conservation law for a drained fault run: every submitted app
+/// ends in exactly one bucket — completed, lost with its board (recovery
+/// off), shed by graceful degradation, or refused at the door by the
+/// admission throttle. Works for metrics::RunResult and ClusterRunResult
+/// (anything with completed / submitted / recovery).
+template <typename Result>
+void expect_app_conservation(const Result& r) {
+  EXPECT_EQ(r.completed + r.recovery.apps_lost + r.recovery.apps_shed +
+                r.recovery.arrivals_shed,
+            r.submitted)
+      << "conservation violated: completed=" << r.completed
+      << " lost=" << r.recovery.apps_lost
+      << " shed=" << r.recovery.apps_shed
+      << " arrivals_shed=" << r.recovery.arrivals_shed
+      << " submitted=" << r.submitted;
+}
 
 /// Builds an n-task app where every task has the given per-item latency and
 /// a small resource footprint (always fits any slot).
